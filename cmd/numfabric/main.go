@@ -1,0 +1,340 @@
+// Command numfabric runs the paper's experiments from the command
+// line and prints the tables/series each figure plots.
+//
+// Usage:
+//
+//	numfabric -experiment fig4a [-scale full] [-seed 1]
+//
+// Experiments: table1, table2, fig2, fig4a, fig4bc, fig5a, fig5b,
+// fig6a, fig6b, fig6c, fig7, fig8, fig9, fig10, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"numfabric/internal/core"
+	"numfabric/internal/harness"
+	"numfabric/internal/oracle"
+	"numfabric/internal/sim"
+	"numfabric/internal/trace"
+	"numfabric/internal/workload"
+)
+
+// outDir, when set via -out, receives CSV files with the series behind
+// each figure.
+var outDir string
+
+// writeCSV writes a table into outDir (no-op when -out is unset).
+func writeCSV(name string, t *trace.Table) {
+	if outDir == "" {
+		return
+	}
+	path := filepath.Join(outDir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+		return
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		fmt.Fprintf(os.Stderr, "csv: %v\n", err)
+		return
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func main() {
+	exp := flag.String("experiment", "all", "experiment id (table1, table2, fig2, fig4a, fig4bc, fig5a, fig5b, fig6a, fig6b, fig6c, fig7, fig8, fig9, fig10, all)")
+	scale := flag.String("scale", "scaled", "\"scaled\" (32 hosts, fast) or \"full\" (paper scale, slow)")
+	seed := flag.Uint64("seed", 1, "random seed")
+	out := flag.String("out", "", "directory for CSV output (optional)")
+	flag.Parse()
+	outDir = *out
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	full := *scale == "full"
+	run := func(id string, fn func(bool, uint64)) {
+		if *exp == id || *exp == "all" {
+			fmt.Printf("\n=== %s ===\n", id)
+			fn(full, *seed)
+		}
+	}
+
+	known := map[string]bool{"table1": true, "table2": true, "fig2": true,
+		"fig4a": true, "fig4bc": true, "fig5a": true, "fig5b": true,
+		"fig6a": true, "fig6b": true, "fig6c": true, "fig7": true,
+		"fig8": true, "fig9": true, "fig10": true, "all": true}
+	if !known[*exp] {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+
+	run("table1", runTable1)
+	run("table2", runTable2)
+	run("fig2", runFig2)
+	run("fig4a", runFig4a)
+	run("fig4bc", runFig4bc)
+	run("fig5a", func(f bool, s uint64) { runFig5(f, s, workload.WebSearch()) })
+	run("fig5b", func(f bool, s uint64) { runFig5(f, s, workload.Enterprise()) })
+	run("fig6a", runFig6a)
+	run("fig6b", runFig6b)
+	run("fig6c", runFig6c)
+	run("fig7", runFig7)
+	run("fig8", runFig8)
+	run("fig9", runFig9)
+	run("fig10", runFig10)
+}
+
+func semiCfg(s harness.Scheme, full bool, seed uint64) harness.SemiDynamicConfig {
+	var cfg harness.SemiDynamicConfig
+	if full {
+		cfg = harness.PaperSemiDynamic(s)
+	} else {
+		cfg = harness.DefaultSemiDynamic(s)
+	}
+	cfg.Seed = seed
+	return cfg
+}
+
+func runTable1(full bool, seed uint64) {
+	fmt.Println("Utility families (Table 1) and the single-link allocations they induce")
+	fmt.Println("(two flows, 10G link; rates from the Oracle NUM solver):")
+	show := func(name string, u1, u2 core.Utility) {
+		p := core.NewProblem([]float64{10e9})
+		p.AddFlow([]int{0}, u1)
+		p.AddFlow([]int{0}, u2)
+		res := oracle.Solve(p, oracle.SolveOptions{})
+		fmt.Printf("  %-34s -> %5.2fG / %5.2fG\n", name, res.Rates[0]/1e9, res.Rates[1]/1e9)
+	}
+	show("alpha-fair (a=1), equal", core.NewAlphaFair(1), core.NewAlphaFair(1))
+	show("weighted alpha-fair (w=1 vs w=3)", core.NewWeightedAlphaFair(1, 1), core.NewWeightedAlphaFair(1, 3))
+	show("FCT-min (10KB vs 10MB flows)", core.FCTMin(10<<10, 0.125), core.FCTMin(10<<20, 0.125))
+	show("bandwidth functions (Fig. 2)", core.NewBWUtility(harness.Fig2Flow1(), 5), core.NewBWUtility(harness.Fig2Flow2(), 5))
+
+	p := core.NewProblem([]float64{10e9, 10e9})
+	g := p.AddAggregate(core.ProportionalFair())
+	p.AddSubflow(g, []int{0})
+	p.AddSubflow(g, []int{1})
+	res := oracle.Solve(p, oracle.SolveOptions{})
+	fmt.Printf("  %-34s -> %5.2fG aggregate over two 10G paths\n",
+		"resource pooling (2 subflows)", (res.Rates[0]+res.Rates[1])/1e9)
+}
+
+func runTable2(full bool, seed uint64) {
+	topo := harness.ScaledTopology()
+	if full {
+		topo = harness.PaperTopology()
+	}
+	rtt := topo.BaseRTT()
+	cfg := harness.DefaultConfig(harness.NUMFabric, topo)
+	fmt.Println("Default parameters (Table 2):")
+	fmt.Printf("  NUMFabric: ewmaTime=%v dt=%v priceUpdateInterval=%v eta=%g beta=%g\n",
+		cfg.NUMFabric.EWMATime, cfg.NUMFabric.DT, cfg.NUMFabric.PriceUpdateInterval,
+		cfg.NUMFabric.Eta, cfg.NUMFabric.Beta)
+	fmt.Printf("  DGD:       priceUpdateInterval=%v gains a=%g b=%g (normalized)\n",
+		cfg.DGD.UpdateInterval, cfg.DGD.GainA, cfg.DGD.GainB)
+	fmt.Printf("  RCP*:      rateUpdateInterval=%v gains a=%g b=%g\n",
+		cfg.RCP.UpdateInterval, cfg.RCP.GainA, cfg.RCP.GainB)
+	fmt.Printf("  network:   baseRTT=%v buffer=%dB/port\n", rtt, cfg.BufferBytes)
+}
+
+func runFig2(full bool, seed uint64) {
+	fmt.Println("BwE water-filling (Figure 2): two flows, link 10G then 25G")
+	funcs := []*core.BandwidthFunction{harness.Fig2Flow1(), harness.Fig2Flow2()}
+	for _, c := range []float64{10e9, 25e9} {
+		x := oracle.BwESingleLink(c, funcs)
+		fmt.Printf("  C=%2.0fG: flow1=%5.2fG flow2=%5.2fG\n", c/1e9, x[0]/1e9, x[1]/1e9)
+	}
+}
+
+func runFig4a(full bool, seed uint64) {
+	fmt.Println("Convergence-time CDF (Figure 4a); times in ms:")
+	fmt.Printf("%-10s %8s %8s %8s %12s\n", "scheme", "median", "p95", "max", "unconverged")
+	type row struct {
+		name string
+		res  harness.SemiDynamicResult
+	}
+	var rows []row
+	for _, s := range []harness.Scheme{harness.NUMFabric, harness.DGD, harness.RCP} {
+		res := harness.RunSemiDynamic(semiCfg(s, full, seed))
+		rows = append(rows, row{s.String(), res})
+		ct := res.ConvergenceTimes
+		sort.Float64s(ct)
+		fmt.Printf("%-10s %8.3f %8.3f %8.3f %8d/%d\n",
+			s.String(), res.Median()*1e3, res.P95()*1e3,
+			maxOr(ct)*1e3, res.Unconverged, res.Events)
+	}
+	if len(rows) >= 2 && rows[0].res.Median() > 0 {
+		fmt.Printf("\nspeedup vs DGD at median: %.2fx (paper: ~2.3x)\n",
+			rows[1].res.Median()/rows[0].res.Median())
+	}
+	fmt.Println("\nCDF points (NUMFabric):")
+	for _, pt := range rows[0].res.CDF() {
+		fmt.Printf("  %.3fms %.2f\n", pt.X*1e3, pt.P)
+	}
+	for _, rw := range rows {
+		writeCSV("fig4a_cdf_"+rw.name+".csv", trace.FromCDF(rw.res.CDF(), "convergence_s"))
+	}
+}
+
+func maxOr(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return xs[len(xs)-1]
+}
+
+func runFig4bc(full bool, seed uint64) {
+	fmt.Println("Rate of a typical flow (Figures 4b/4c); EWMA-filtered, 100 µs samples:")
+	for _, s := range []harness.Scheme{harness.DCTCP, harness.NUMFabric} {
+		cfg := semiCfg(s, full, seed)
+		cfg.Events = 4
+		tr := harness.RunRateTrace(cfg, 0, 100*sim.Microsecond)
+		fmt.Printf("\n%s: t(ms) rate(Gbps) oracle(Gbps)\n", s)
+		step := len(tr.Times) / 24
+		if step == 0 {
+			step = 1
+		}
+		for i := 0; i < len(tr.Times); i += step {
+			fmt.Printf("  %6.2f  %6.2f  %6.2f\n",
+				tr.Times[i]*1e3, tr.Rates[i]/1e9, tr.OracleRates[i]/1e9)
+		}
+		tab := trace.NewTable("time_s", "rate_bps", "oracle_bps")
+		for i := range tr.Times {
+			_ = tab.Append(tr.Times[i], tr.Rates[i], tr.OracleRates[i])
+		}
+		writeCSV("fig4bc_trace_"+s.String()+".csv", tab)
+	}
+}
+
+func runFig5(full bool, seed uint64, cdf *workload.SizeCDF) {
+	fmt.Printf("Normalized rate deviation from Oracle by flow size (Figure 5, %s):\n", cdf.Name())
+	flows := 400
+	if full {
+		flows = 2000
+	}
+	for _, s := range []harness.Scheme{harness.NUMFabric, harness.DGD, harness.RCP} {
+		cfg := harness.DefaultDynamic(s, cdf, 0.4)
+		cfg.Flows = flows
+		cfg.Seed = seed
+		if full {
+			cfg.Topo = harness.PaperTopology()
+			cfg.Scheme = harness.DefaultConfig(s, cfg.Topo)
+		}
+		res := harness.RunDynamic(cfg)
+		fmt.Printf("\n%s (%d finished, %d unfinished):\n", s, len(res.Records), res.Unfinished)
+		bins := res.DeviationByBin()
+		for _, b := range harness.Fig5Bins {
+			if sum, ok := bins[b.Label]; ok {
+				fmt.Printf("  %-10s n=%-4d median=%+.2f p25=%+.2f p75=%+.2f\n",
+					b.Label, sum.N, sum.Median, sum.P25, sum.P75)
+			}
+		}
+	}
+}
+
+func runFig6a(full bool, seed uint64) {
+	fmt.Println("Sensitivity to dt (Figure 6a):")
+	base := semiCfg(harness.NUMFabric, full, seed)
+	dts := []sim.Duration{3 * sim.Microsecond, 6 * sim.Microsecond,
+		12 * sim.Microsecond, 18 * sim.Microsecond, 24 * sim.Microsecond}
+	for _, pt := range harness.SweepDT(base, dts) {
+		fmt.Printf("  dt=%4.0fus median=%.3fms unconverged=%d\n",
+			pt.Param, pt.MedianConvergence*1e3, pt.Unconverged)
+	}
+}
+
+func runFig6b(full bool, seed uint64) {
+	fmt.Println("Sensitivity to price update interval (Figure 6b):")
+	base := semiCfg(harness.NUMFabric, full, seed)
+	ivs := []sim.Duration{30 * sim.Microsecond, 60 * sim.Microsecond,
+		90 * sim.Microsecond, 128 * sim.Microsecond}
+	for _, pt := range harness.SweepPriceInterval(base, ivs) {
+		fmt.Printf("  interval=%4.0fus median=%.3fms unconverged=%d\n",
+			pt.Param, pt.MedianConvergence*1e3, pt.Unconverged)
+	}
+}
+
+func runFig6c(full bool, seed uint64) {
+	fmt.Println("Sensitivity to alpha, 1x vs 2x-slowed (Figure 6c):")
+	base := semiCfg(harness.NUMFabric, full, seed)
+	alphas := []float64{0.5, 1, 2, 4}
+	normal, slowed := harness.SweepAlpha(base, alphas, 2)
+	for i := range normal {
+		fmt.Printf("  alpha=%-4g 1x: median=%.3fms unconv=%d | 2x: median=%.3fms unconv=%d\n",
+			normal[i].Param, normal[i].MedianConvergence*1e3, normal[i].Unconverged,
+			slowed[i].MedianConvergence*1e3, slowed[i].Unconverged)
+	}
+}
+
+func runFig7(full bool, seed uint64) {
+	fmt.Println("FCT vs pFabric on the web-search workload (Figure 7):")
+	cfg := harness.DefaultFCT()
+	cfg.Seed = seed
+	if full {
+		cfg.Topo = harness.PaperTopology()
+		cfg.FlowsPerLoad = 2000
+	}
+	fmt.Printf("%-6s %-10s %10s %10s %10s\n", "load", "scheme", "meanNorm", "medianNorm", "p95Norm")
+	for _, load := range cfg.Loads {
+		for _, s := range []harness.Scheme{harness.NUMFabric, harness.PFabric} {
+			pt := harness.RunFCT(cfg, s, load)
+			fmt.Printf("%-6.1f %-10s %10.2f %10.2f %10.2f\n",
+				load, pt.Scheme, pt.MeanNormFCT, pt.MedianNormFCT, pt.P95NormFCT)
+		}
+	}
+}
+
+func runFig8(full bool, seed uint64) {
+	fmt.Println("Resource pooling (Figure 8):")
+	fmt.Printf("%-9s %-8s %8s %8s\n", "subflows", "pooling", "total%", "Jain")
+	for _, k := range []int{1, 2, 3, 4, 5, 6, 7, 8} {
+		for _, pool := range []bool{true, false} {
+			cfg := harness.DefaultPooling(k, pool)
+			cfg.Seed = seed
+			res := harness.RunPooling(cfg)
+			fmt.Printf("%-9d %-8v %7.1f%% %8.3f\n", k, pool, res.TotalThroughputPct(), res.JainIndex())
+		}
+	}
+}
+
+func runFig9(full bool, seed uint64) {
+	fmt.Println("Bandwidth-function capacity sweep (Figure 9):")
+	var caps []sim.BitRate
+	for c := int64(5); c <= 35; c += 5 {
+		caps = append(caps, sim.BitRate(c)*sim.Gbps)
+	}
+	measure := 12 * sim.Millisecond
+	if full {
+		measure = 30 * sim.Millisecond
+	}
+	tab := trace.NewTable("capacity_bps", "flow1_bps", "want1_bps", "flow2_bps", "want2_bps")
+	for _, pt := range harness.RunBWFCapacitySweep(caps, 5, measure) {
+		fmt.Printf("  C=%4.0fG  flow1 %5.2f/%5.2f  flow2 %5.2f/%5.2f  (meas/want Gbps)\n",
+			pt.Capacity/1e9, pt.Flow1/1e9, pt.Want1/1e9, pt.Flow2/1e9, pt.Want2/1e9)
+		_ = tab.Append(pt.Capacity, pt.Flow1, pt.Want1, pt.Flow2, pt.Want2)
+	}
+	writeCSV("fig9_sweep.csv", tab)
+}
+
+func runFig10(full bool, seed uint64) {
+	fmt.Println("Bandwidth functions + resource pooling across a capacity step (Figure 10):")
+	samples := harness.RunBWFPooling(5, 20*sim.Millisecond, 40*sim.Millisecond, 2*sim.Millisecond)
+	tab := trace.NewTable("time_s", "flow1_bps", "flow2_bps")
+	for _, s := range samples {
+		fmt.Printf("  t=%5.1fms flow1=%5.2fG flow2=%5.2fG\n",
+			float64(s.At)/1e9, s.Flow1/1e9, s.Flow2/1e9)
+		_ = tab.Append(s.At.Seconds(), s.Flow1, s.Flow2)
+	}
+	writeCSV("fig10_timeseries.csv", tab)
+	fmt.Println("expected: (10, 3) before 20ms, (15, 10) after")
+}

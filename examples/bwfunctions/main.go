@@ -1,0 +1,52 @@
+// Bandwidth functions (§2 + §6.3, Figures 2, 9 and 10): Google
+// BwE-style bandwidth functions expressed as NUM utilities and
+// enforced by NUMFabric in a distributed fashion — including combined
+// with resource pooling, which the paper notes "doesn't exist" in any
+// deployed system.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"numfabric"
+)
+
+func main() {
+	// The two bandwidth functions of the paper's Figure 2: flow 1 has
+	// strict priority for its first 10 Gb/s; flow 2 then ramps at
+	// twice flow 1's slope until it caps at 10 Gb/s.
+	b1, b2 := numfabric.Fig2Flow1(), numfabric.Fig2Flow2()
+
+	fmt.Println("Figure 9: capacity sweep of a shared bottleneck")
+	fmt.Println("capacity   flow1 meas/want    flow2 meas/want   (Gbps)")
+	caps := []int64{5e9, 10e9, 15e9, 20e9, 25e9, 30e9, 35e9}
+	for _, pt := range numfabric.RunBWFCapacitySweep(caps, 5, 12*time.Millisecond) {
+		fmt.Printf("  %4.0fG     %5.2f / %5.2f      %5.2f / %5.2f\n",
+			pt.Capacity/1e9, pt.Flow1/1e9, pt.Want1/1e9, pt.Flow2/1e9, pt.Want2/1e9)
+	}
+
+	// Reference: the BwE water-fill itself (what a centralized
+	// allocator would compute).
+	fmt.Println("\nBwE water-fill reference at 25G:",
+		fmtG(numfabric.BwEAllocation(25e9, []*numfabric.BandwidthFunction{b1, b2})))
+
+	fmt.Println("\nFigure 10: bandwidth functions + resource pooling")
+	fmt.Println("(middle link steps 5G -> 17G at t=20ms; expect (10,3) -> (15,10))")
+	samples := numfabric.RunBWFPooling(5, 20*time.Millisecond, 40*time.Millisecond, 2*time.Millisecond)
+	for _, s := range samples {
+		fmt.Printf("  t=%5.1fms  flow1 %5.2fG  flow2 %5.2fG\n",
+			float64(s.At)/1e9, s.Flow1/1e9, s.Flow2/1e9)
+	}
+}
+
+func fmtG(xs []float64) string {
+	out := ""
+	for i, x := range xs {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%.2fG", x/1e9)
+	}
+	return out
+}

@@ -1,0 +1,90 @@
+package core
+
+import "testing"
+
+func TestProblemBuildAndValidate(t *testing.T) {
+	p := NewProblem([]float64{10e9, 10e9})
+	f0 := p.AddFlow([]int{0}, ProportionalFair())
+	f1 := p.AddFlow([]int{0, 1}, ProportionalFair())
+	if f0 != 0 || f1 != 1 {
+		t.Fatalf("flow ids = %d,%d", f0, f1)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProblemAggregate(t *testing.T) {
+	p := NewProblem([]float64{10e9, 10e9})
+	g := p.AddAggregate(ProportionalFair())
+	s0 := p.AddSubflow(g, []int{0})
+	s1 := p.AddSubflow(g, []int{1})
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Flows[s0].Group != g || p.Flows[s1].Group != g {
+		t.Error("subflows not in aggregate group")
+	}
+	// Aggregate utility applies to the sum: splitting rate across
+	// subflows must not change the objective.
+	u1 := p.TotalUtility([]float64{4e9, 4e9})
+	u2 := p.TotalUtility([]float64{8e9, 0})
+	if !almostEq(u1, u2, 1e-12) {
+		t.Errorf("aggregate utility depends on split: %v vs %v", u1, u2)
+	}
+}
+
+func TestProblemValidateCatchesErrors(t *testing.T) {
+	p := NewProblem([]float64{10e9})
+	p.AddFlow([]int{0}, ProportionalFair())
+	p.Flows[0].Links = []int{5}
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-range link not caught")
+	}
+
+	p2 := NewProblem([]float64{-1})
+	p2.AddFlow([]int{0}, ProportionalFair())
+	if err := p2.Validate(); err == nil {
+		t.Error("negative capacity not caught")
+	}
+
+	p3 := NewProblem([]float64{10e9})
+	p3.AddAggregate(ProportionalFair()) // empty group
+	if err := p3.Validate(); err == nil {
+		t.Error("empty group not caught")
+	}
+
+	p4 := NewProblem([]float64{10e9})
+	p4.AddFlow(nil, ProportionalFair())
+	if err := p4.Validate(); err == nil {
+		t.Error("empty path not caught")
+	}
+}
+
+func TestIsFeasible(t *testing.T) {
+	p := NewProblem([]float64{10e9})
+	p.AddFlow([]int{0}, ProportionalFair())
+	p.AddFlow([]int{0}, ProportionalFair())
+	if !p.IsFeasible([]float64{5e9, 5e9}, 1e-9) {
+		t.Error("feasible point rejected")
+	}
+	if p.IsFeasible([]float64{8e9, 5e9}, 1e-9) {
+		t.Error("infeasible point accepted")
+	}
+	if p.IsFeasible([]float64{-1, 1}, 1e-9) {
+		t.Error("negative rate accepted")
+	}
+	if p.IsFeasible([]float64{1}, 1e-9) {
+		t.Error("wrong length accepted")
+	}
+}
+
+func TestLinkLoads(t *testing.T) {
+	p := NewProblem([]float64{10e9, 10e9})
+	p.AddFlow([]int{0, 1}, ProportionalFair())
+	p.AddFlow([]int{1}, ProportionalFair())
+	load := p.LinkLoads([]float64{3e9, 4e9})
+	if load[0] != 3e9 || load[1] != 7e9 {
+		t.Errorf("loads = %v", load)
+	}
+}

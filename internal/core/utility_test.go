@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	den := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b)/den < rel
+}
+
+func TestAlphaFairMarginalInverseRoundTrip(t *testing.T) {
+	for _, alpha := range []float64{0.125, 0.5, 1, 2, 4} {
+		for _, w := range []float64{1, 2.5, 10} {
+			u := NewWeightedAlphaFair(alpha, w)
+			for _, x := range []float64{1e6, 1e9, 5e9, 4e10} {
+				p := u.Marginal(x)
+				back := u.InverseMarginal(p)
+				if !almostEq(back, x, 1e-9) {
+					t.Errorf("alpha=%v w=%v: InverseMarginal(Marginal(%v)) = %v", alpha, w, x, back)
+				}
+			}
+		}
+	}
+}
+
+func TestAlphaFairMarginalDecreasing(t *testing.T) {
+	f := func(alphaRaw, xRaw, yRaw float64) bool {
+		alpha := 0.1 + math.Mod(math.Abs(alphaRaw), 4)
+		x := 1 + math.Mod(math.Abs(xRaw), 1e10)
+		y := 1 + math.Mod(math.Abs(yRaw), 1e10)
+		if x > y {
+			x, y = y, x
+		}
+		if x == y {
+			return true
+		}
+		u := NewAlphaFair(alpha)
+		return u.Marginal(x) >= u.Marginal(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAlphaFairConcave(t *testing.T) {
+	// U((x+y)/2) >= (U(x)+U(y))/2 for all alpha.
+	f := func(alphaRaw, xRaw, yRaw float64) bool {
+		alpha := 0.1 + math.Mod(math.Abs(alphaRaw), 4)
+		x := 10 + math.Mod(math.Abs(xRaw), 1e10)
+		y := 10 + math.Mod(math.Abs(yRaw), 1e10)
+		u := NewAlphaFair(alpha)
+		mid := u.Value((x + y) / 2)
+		avg := (u.Value(x) + u.Value(y)) / 2
+		return mid >= avg-1e-9*math.Abs(avg)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProportionalFairIsLog(t *testing.T) {
+	u := ProportionalFair()
+	if !almostEq(u.Value(math.E), 1, 1e-12) {
+		t.Errorf("log utility at e = %v, want 1", u.Value(math.E))
+	}
+	if !almostEq(u.Marginal(4), 0.25, 1e-12) {
+		t.Errorf("U'(4) = %v, want 0.25", u.Marginal(4))
+	}
+	if !almostEq(u.InverseMarginal(0.25), 4, 1e-12) {
+		t.Errorf("U'^-1(0.25) = %v, want 4", u.InverseMarginal(0.25))
+	}
+}
+
+func TestWeightedAlphaFairWeightScalesRate(t *testing.T) {
+	// At a common price p, rates are proportional to weights:
+	// x = w * p^(-1/alpha).
+	alpha := 2.0
+	u1 := NewWeightedAlphaFair(alpha, 1)
+	u3 := NewWeightedAlphaFair(alpha, 3)
+	p := 1e-18
+	if !almostEq(u3.InverseMarginal(p), 3*u1.InverseMarginal(p), 1e-12) {
+		t.Error("weighted rate not proportional to weight")
+	}
+}
+
+func TestFCTMinSmallerFlowsWin(t *testing.T) {
+	// At any common path price, a smaller flow computes a higher rate
+	// (weight); this is what approximates shortest-flow-first.
+	uSmall := FCTMin(10_000, 0.125)
+	uBig := FCTMin(10_000_000, 0.125)
+	for _, p := range []float64{1e-6, 1e-3, 1} {
+		if uSmall.InverseMarginal(p) <= uBig.InverseMarginal(p) {
+			t.Errorf("price %v: small flow weight %v <= big flow weight %v",
+				p, uSmall.InverseMarginal(p), uBig.InverseMarginal(p))
+		}
+	}
+}
+
+func TestFCTMinMatchesTableForm(t *testing.T) {
+	// U'(x) must equal (1/s) x^(-eps).
+	s := int64(1 << 20)
+	eps := 0.125
+	u := FCTMin(s, eps)
+	for _, x := range []float64{1e3, 1e6, 1e9} {
+		want := (1 / float64(s)) * math.Pow(x, -eps)
+		if !almostEq(u.Marginal(x), want, 1e-9) {
+			t.Errorf("U'(%v) = %v, want %v", x, u.Marginal(x), want)
+		}
+	}
+}
+
+func TestFCTMinDefaults(t *testing.T) {
+	u := FCTMin(0, 0) // degenerate inputs take defaults
+	if u.Alpha != 0.125 {
+		t.Errorf("default epsilon = %v, want 0.125", u.Alpha)
+	}
+	if u.Weight != 1 { // size clamped to 1 => weight 1
+		t.Errorf("weight = %v, want 1", u.Weight)
+	}
+}
+
+func TestDeadlineEarlierWins(t *testing.T) {
+	uSoon := Deadline(0.001, 0.125)
+	uLate := Deadline(1.0, 0.125)
+	if uSoon.InverseMarginal(1e-3) <= uLate.InverseMarginal(1e-3) {
+		t.Error("earlier deadline should get higher weight")
+	}
+}
+
+func TestAlphaFairValueOrdering(t *testing.T) {
+	// Utility is increasing in x.
+	for _, alpha := range []float64{0.5, 1, 2} {
+		u := NewAlphaFair(alpha)
+		if u.Value(2e9) <= u.Value(1e9) {
+			t.Errorf("alpha=%v: utility not increasing", alpha)
+		}
+	}
+}
+
+func TestInverseMarginalZeroPrice(t *testing.T) {
+	u := NewAlphaFair(1)
+	if !math.IsInf(u.InverseMarginal(0), 1) {
+		t.Error("zero price should give infinite demand")
+	}
+}

@@ -1,0 +1,182 @@
+package harness
+
+import (
+	"numfabric/internal/core"
+	"numfabric/internal/netsim"
+	"numfabric/internal/oracle"
+	"numfabric/internal/sim"
+	"numfabric/internal/stats"
+	"numfabric/internal/transport"
+)
+
+// Fig2Flow1 is the blue bandwidth function of the paper's Figure 2:
+// strict priority for the first 10 Gb/s (up to fair share 2), then
+// growth at 10 Gb/s per unit share.
+func Fig2Flow1() *core.BandwidthFunction {
+	const g = 1e9
+	return core.MustBandwidthFunction([]core.BWPoint{
+		{FairShare: 0, Bandwidth: 0},
+		{FairShare: 2, Bandwidth: 10 * g},
+		{FairShare: 2.5, Bandwidth: 15 * g},
+		{FairShare: 5, Bandwidth: 40 * g},
+	})
+}
+
+// Fig2Flow2 is the red bandwidth function of Figure 2: nothing until
+// fair share 2, then twice flow 1's slope until it caps at 10 Gb/s.
+func Fig2Flow2() *core.BandwidthFunction {
+	const g = 1e9
+	return core.MustBandwidthFunction([]core.BWPoint{
+		{FairShare: 0, Bandwidth: 0},
+		{FairShare: 2, Bandwidth: 0},
+		{FairShare: 2.5, Bandwidth: 10 * g},
+		{FairShare: 5, Bandwidth: 10 * g},
+	})
+}
+
+// BWFPoint is one Figure 9 measurement.
+type BWFPoint struct {
+	Capacity     float64 // bottleneck capacity, bits/second
+	Flow1, Flow2 float64 // achieved throughput
+	Want1, Want2 float64 // BwE water-filling expectation
+}
+
+// RunBWFCapacitySweep reproduces Figure 9: two flows with the Figure 2
+// bandwidth functions compete on one variable-capacity link; the
+// achieved allocation should track the BwE water-fill at every
+// capacity. alpha is the utility exponent (paper: ~5 suffices).
+func RunBWFCapacitySweep(capacities []sim.BitRate, alpha float64, measure sim.Duration) []BWFPoint {
+	var out []BWFPoint
+	for _, c := range capacities {
+		out = append(out, runBWFOnce(c, alpha, measure))
+	}
+	return out
+}
+
+func runBWFOnce(capacity sim.BitRate, alpha float64, measure sim.Duration) BWFPoint {
+	eng := sim.NewEngine()
+	net := netsim.NewNetwork(eng)
+	params := transport.DefaultNUMFabric(20 * sim.Microsecond)
+	net.QueueFactory = func(p *netsim.Port) netsim.Queue {
+		return DefaultConfig(NUMFabric, ScaledTopology()).QueueFactory()(p)
+	}
+
+	// src1, src2 --40G--> s1 --capacity--> s2 --40G--> dst1, dst2.
+	src1 := net.NewNode("src1")
+	src2 := net.NewNode("src2")
+	s1 := net.NewNode("s1")
+	s2 := net.NewNode("s2")
+	dst1 := net.NewNode("dst1")
+	dst2 := net.NewNode("dst2")
+	d := 2 * sim.Microsecond
+	a1, r1 := net.Connect(src1, s1, 40*sim.Gbps, d)
+	a2, r2 := net.Connect(src2, s1, 40*sim.Gbps, d)
+	mid, midR := net.Connect(s1, s2, capacity, d)
+	b1, q1 := net.Connect(s2, dst1, 40*sim.Gbps, d)
+	b2, q2 := net.Connect(s2, dst2, 40*sim.Gbps, d)
+
+	for _, port := range net.Links {
+		transport.NewXWIAgent(net, port, params)
+	}
+
+	u1 := core.NewBWUtility(Fig2Flow1(), alpha)
+	u2 := core.NewBWUtility(Fig2Flow2(), alpha)
+	f1 := net.NewFlow(src1, dst1, []*netsim.Port{a1, mid, b1}, []*netsim.Port{q1, midR, r1}, 0)
+	f2 := net.NewFlow(src2, dst2, []*netsim.Port{a2, mid, b2}, []*netsim.Port{q2, midR, r2}, 0)
+	transport.NewNUMFabricSender(net, f1, u1, params)
+	transport.NewNUMFabricSender(net, f2, u2, params)
+	f1.Meter = stats.NewRateMeter(200 * sim.Microsecond)
+	f2.Meter = stats.NewRateMeter(200 * sim.Microsecond)
+	eng.Schedule(0, f1.Start)
+	eng.Schedule(0, f2.Start)
+	eng.Run(sim.Time(measure))
+
+	want := oracle.BwESingleLink(capacity.Float(),
+		[]*core.BandwidthFunction{Fig2Flow1(), Fig2Flow2()})
+	return BWFPoint{
+		Capacity: capacity.Float(),
+		Flow1:    f1.Meter.RateAt(eng.Now()),
+		Flow2:    f2.Meter.RateAt(eng.Now()),
+		Want1:    want[0],
+		Want2:    want[1],
+	}
+}
+
+// BWFPoolSample is one time-series sample of Figure 10.
+type BWFPoolSample struct {
+	At           sim.Time
+	Flow1, Flow2 float64 // aggregate throughputs, bits/second
+}
+
+// RunBWFPooling reproduces Figure 10: bandwidth functions combined
+// with resource pooling. Flow 1 owns a 5 Gb/s private link, flow 2 a
+// 3 Gb/s private link, and both pool a shared middle link whose
+// capacity steps from 5 Gb/s to 17 Gb/s at switchAt. The utilities
+// apply the Figure 2 bandwidth functions to each flow's aggregate
+// rate. Expected: (10, 3) before the step, (15, 10) after.
+func RunBWFPooling(alpha float64, switchAt, runFor sim.Duration, sampleEvery sim.Duration) []BWFPoolSample {
+	eng := sim.NewEngine()
+	net := netsim.NewNetwork(eng)
+	params := transport.DefaultNUMFabric(20 * sim.Microsecond)
+	net.QueueFactory = func(p *netsim.Port) netsim.Queue {
+		return DefaultConfig(NUMFabric, ScaledTopology()).QueueFactory()(p)
+	}
+
+	srcA := net.NewNode("srcA")
+	srcB := net.NewNode("srcB")
+	r1 := net.NewNode("r1")
+	r2 := net.NewNode("r2")
+	dstA := net.NewNode("dstA")
+	dstB := net.NewNode("dstB")
+	d := 2 * sim.Microsecond
+	big := 40 * sim.Gbps
+
+	// Private paths.
+	topA, topAr := net.Connect(srcA, dstA, 5*sim.Gbps, d)
+	botB, botBr := net.Connect(srcB, dstB, 3*sim.Gbps, d)
+	// Shared middle path.
+	inA, inAr := net.Connect(srcA, r1, big, d)
+	inB, inBr := net.Connect(srcB, r1, big, d)
+	mid, midR := net.Connect(r1, r2, 5*sim.Gbps, d)
+	outA, outAr := net.Connect(r2, dstA, big, d)
+	outB, outBr := net.Connect(r2, dstB, big, d)
+
+	for _, port := range net.Links {
+		transport.NewXWIAgent(net, port, params)
+	}
+
+	uA := core.NewBWUtility(Fig2Flow1(), alpha)
+	uB := core.NewBWUtility(Fig2Flow2(), alpha)
+
+	aggA := transport.NewAggregate()
+	aggB := transport.NewAggregate()
+	mkSub := func(src, dst *netsim.Node, fwd, rev []*netsim.Port, u core.Utility, agg *transport.Aggregate) *netsim.Flow {
+		f := net.NewFlow(src, dst, fwd, rev, 0)
+		s := transport.NewNUMFabricSender(net, f, u, params)
+		agg.Add(s)
+		f.Meter = stats.NewRateMeter(300 * sim.Microsecond)
+		eng.Schedule(0, f.Start)
+		return f
+	}
+	fA1 := mkSub(srcA, dstA, []*netsim.Port{topA}, []*netsim.Port{topAr}, uA, aggA)
+	fA2 := mkSub(srcA, dstA, []*netsim.Port{inA, mid, outA}, []*netsim.Port{outAr, midR, inAr}, uA, aggA)
+	fB1 := mkSub(srcB, dstB, []*netsim.Port{botB}, []*netsim.Port{botBr}, uB, aggB)
+	fB2 := mkSub(srcB, dstB, []*netsim.Port{inB, mid, outB}, []*netsim.Port{outBr, midR, inBr}, uB, aggB)
+
+	// Capacity step: X = 5 → 17 Gb/s (both directions of the cable).
+	eng.Schedule(sim.Time(switchAt), func() {
+		mid.Rate = 17 * sim.Gbps
+		midR.Rate = 17 * sim.Gbps
+	})
+
+	var samples []BWFPoolSample
+	eng.Every(sim.Time(sampleEvery), sampleEvery, func() {
+		samples = append(samples, BWFPoolSample{
+			At:    eng.Now(),
+			Flow1: fA1.Meter.RateAt(eng.Now()) + fA2.Meter.RateAt(eng.Now()),
+			Flow2: fB1.Meter.RateAt(eng.Now()) + fB2.Meter.RateAt(eng.Now()),
+		})
+	})
+	eng.Run(sim.Time(runFor))
+	return samples
+}

@@ -1,0 +1,49 @@
+package harness
+
+import (
+	"testing"
+
+	"numfabric/internal/sim"
+)
+
+// TestDCTCPNeverConverges asserts Figure 4b's observation: DCTCP's
+// rates "are very noisy at timescales of 100s of microseconds" and
+// essentially never settle within 10% of the target allocation, while
+// NUMFabric's do (Figure 4c).
+func TestDCTCPNeverConverges(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	frac := func(s Scheme) float64 {
+		cfg := DefaultSemiDynamic(s)
+		cfg.Events = 2
+		tr := RunRateTrace(cfg, 0, 100*sim.Microsecond)
+		within := 0
+		for i := range tr.Rates {
+			if tr.OracleRates[i] > 0 {
+				d := tr.Rates[i] - tr.OracleRates[i]
+				if d < 0 {
+					d = -d
+				}
+				if d/tr.OracleRates[i] <= 0.10 {
+					within++
+				}
+			}
+		}
+		if len(tr.Rates) == 0 {
+			return 0
+		}
+		return float64(within) / float64(len(tr.Rates))
+	}
+	dctcp := frac(DCTCP)
+	nf := frac(NUMFabric)
+	if dctcp > 0.6 {
+		t.Errorf("DCTCP within-10%% fraction = %.2f, expected noisy (<0.6)", dctcp)
+	}
+	if nf < 0.75 {
+		t.Errorf("NUMFabric within-10%% fraction = %.2f, expected locked (>0.75)", nf)
+	}
+	if nf <= dctcp {
+		t.Errorf("NUMFabric (%.2f) should track the oracle far better than DCTCP (%.2f)", nf, dctcp)
+	}
+}

@@ -1,0 +1,144 @@
+package harness
+
+import (
+	"sort"
+
+	"numfabric/internal/core"
+	"numfabric/internal/netsim"
+	"numfabric/internal/sim"
+	"numfabric/internal/stats"
+	"numfabric/internal/transport"
+	"numfabric/internal/workload"
+)
+
+// PoolingConfig parameterizes the §6.3 resource-pooling experiment:
+// permutation traffic where each source–destination pair runs k
+// subflows hashed onto random spine paths, comparing proportional
+// fairness at the subflow level ("no resource pooling") against
+// proportional fairness over the aggregates (Table 1, row 4).
+type PoolingConfig struct {
+	Topo TopologyConfig
+	// Subflows per source-destination pair (paper sweeps 1–8).
+	Subflows int
+	// Pooling selects the aggregate utility; false runs independent
+	// subflow utilities.
+	Pooling bool
+	// Measure is how long to run before reading throughputs.
+	Measure sim.Duration
+	Seed    uint64
+}
+
+// PoolingTopology returns the §6.3 resource-pooling fabric: the MPTCP
+// paper's layout with all-10 Gb/s links (paper: 128 servers, 8
+// leaves, 16 spines; scaled default: 32 servers, 4 leaves, 8 spines —
+// same 2:1 host-to-spine ratio per leaf and full bisection bandwidth).
+func PoolingTopology() TopologyConfig {
+	return TopologyConfig{
+		Leaves:       4,
+		Spines:       8,
+		HostsPerLeaf: 8,
+		HostLink:     10 * sim.Gbps,
+		SpineLink:    10 * sim.Gbps,
+		LinkDelay:    2 * sim.Microsecond,
+	}
+}
+
+// DefaultPooling returns a scaled Figure 8 configuration.
+func DefaultPooling(subflows int, pooling bool) PoolingConfig {
+	return PoolingConfig{
+		Topo:     PoolingTopology(),
+		Subflows: subflows,
+		Pooling:  pooling,
+		Measure:  15 * sim.Millisecond,
+		Seed:     1,
+	}
+}
+
+// PoolingResult reports the Figure 8 metrics.
+type PoolingResult struct {
+	// FlowThroughputs holds each source-destination pair's aggregate
+	// throughput in bits/second.
+	FlowThroughputs []float64
+	// Optimal is the per-flow optimal throughput (the host line rate:
+	// permutation traffic on a full-bisection fabric can saturate
+	// every host).
+	Optimal float64
+}
+
+// TotalThroughputPct returns total throughput as a percentage of the
+// optimal (Figure 8a's y-axis).
+func (r PoolingResult) TotalThroughputPct() float64 {
+	sum := 0.0
+	for _, x := range r.FlowThroughputs {
+		sum += x
+	}
+	return 100 * sum / (r.Optimal * float64(len(r.FlowThroughputs)))
+}
+
+// RankedPct returns per-flow throughputs as percentages of optimal,
+// sorted descending (Figure 8b's curve).
+func (r PoolingResult) RankedPct() []float64 {
+	out := make([]float64, len(r.FlowThroughputs))
+	for i, x := range r.FlowThroughputs {
+		out[i] = 100 * x / r.Optimal
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(out)))
+	return out
+}
+
+// JainIndex returns Jain's fairness index of the flow throughputs.
+func (r PoolingResult) JainIndex() float64 {
+	n := float64(len(r.FlowThroughputs))
+	var sum, sq float64
+	for _, x := range r.FlowThroughputs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 0
+	}
+	return sum * sum / (n * sq)
+}
+
+// RunPooling executes the resource-pooling experiment under NUMFabric.
+func RunPooling(cfg PoolingConfig) PoolingResult {
+	eng := sim.NewEngine()
+	net := netsim.NewNetwork(eng)
+	scheme := DefaultConfig(NUMFabric, cfg.Topo)
+	net.QueueFactory = scheme.QueueFactory()
+	topo := NewTopology(net, cfg.Topo)
+	scheme.AttachAgents(net)
+	rng := sim.NewRNG(cfg.Seed)
+
+	pairs := workload.Permutation(len(topo.Hosts), rng)
+	meters := make([][]*stats.RateMeter, len(pairs))
+	for pi, pr := range pairs {
+		var agg *transport.Aggregate
+		if cfg.Pooling {
+			agg = transport.NewAggregate()
+		}
+		for s := 0; s < cfg.Subflows; s++ {
+			// "each sub-flow hashed onto a path at random".
+			spine := rng.Intn(cfg.Topo.Spines)
+			f := topo.NewFlow(pr[0], pr[1], spine, 0)
+			sender := transport.NewNUMFabricSender(net, f, core.ProportionalFair(), scheme.NUMFabric)
+			if agg != nil {
+				agg.Add(sender)
+			}
+			f.Meter = stats.NewRateMeter(200 * sim.Microsecond)
+			meters[pi] = append(meters[pi], f.Meter)
+			eng.Schedule(0, f.Start)
+		}
+	}
+	eng.Run(sim.Time(cfg.Measure))
+
+	res := PoolingResult{Optimal: cfg.Topo.HostLink.Float()}
+	for _, ms := range meters {
+		total := 0.0
+		for _, m := range ms {
+			total += m.RateAt(eng.Now())
+		}
+		res.FlowThroughputs = append(res.FlowThroughputs, total)
+	}
+	return res
+}

@@ -1,0 +1,105 @@
+package harness
+
+import (
+	"numfabric/internal/sim"
+)
+
+// SweepPoint is one sensitivity-sweep measurement (Figure 6).
+type SweepPoint struct {
+	// Param is the swept value (dt in µs, update interval in µs, or
+	// α, depending on the sweep).
+	Param float64
+	// MedianConvergence is the median per-event convergence time in
+	// seconds.
+	MedianConvergence float64
+	// Unconverged counts events that hit the timeout.
+	Unconverged int
+}
+
+// SweepDT reproduces Figure 6a: median convergence time versus the
+// window slack dt. Too-small dt leaves flows without queued packets at
+// their bottleneck (events fail to converge); too-large dt builds
+// queues and slows convergence.
+func SweepDT(base SemiDynamicConfig, dts []sim.Duration) []SweepPoint {
+	var out []SweepPoint
+	for _, dt := range dts {
+		cfg := base
+		cfg.Scheme.NUMFabric.DT = dt
+		res := RunSemiDynamic(cfg)
+		out = append(out, SweepPoint{
+			Param:             float64(dt) / 1e6, // µs
+			MedianConvergence: res.Median(),
+			Unconverged:       res.Unconverged,
+		})
+	}
+	return out
+}
+
+// SweepPriceInterval reproduces Figure 6b: median convergence time
+// versus the xWI price update interval (paper: 30–128 µs; ~2 RTTs is
+// the sweet spot).
+func SweepPriceInterval(base SemiDynamicConfig, intervals []sim.Duration) []SweepPoint {
+	var out []SweepPoint
+	for _, iv := range intervals {
+		cfg := base
+		cfg.Scheme.NUMFabric.PriceUpdateInterval = iv
+		res := RunSemiDynamic(cfg)
+		out = append(out, SweepPoint{
+			Param:             float64(iv) / 1e6,
+			MedianConvergence: res.Median(),
+			Unconverged:       res.Unconverged,
+		})
+	}
+	return out
+}
+
+// SweepAlpha reproduces Figure 6c: median convergence time versus the
+// α-fairness exponent, at normal speed and with the control loop
+// slowed by slowFactor (the paper's 2× remedy for extreme α).
+func SweepAlpha(base SemiDynamicConfig, alphas []float64, slowFactor float64) (normal, slowed []SweepPoint) {
+	for _, a := range alphas {
+		cfg := base
+		cfg.Alpha = a
+		res := RunSemiDynamic(cfg)
+		normal = append(normal, SweepPoint{
+			Param: a, MedianConvergence: res.Median(), Unconverged: res.Unconverged,
+		})
+
+		cfgSlow := base
+		cfgSlow.Alpha = a
+		cfgSlow.Scheme.NUMFabric = cfgSlow.Scheme.NUMFabric.Slowed(slowFactor)
+		resSlow := RunSemiDynamic(cfgSlow)
+		slowed = append(slowed, SweepPoint{
+			Param: a, MedianConvergence: resSlow.Median(), Unconverged: resSlow.Unconverged,
+		})
+	}
+	return normal, slowed
+}
+
+// RateTrace samples one flow's metered rate over time (Figures 4b/4c:
+// "the rate of a typical flow" under DCTCP versus NUMFabric).
+type RateTrace struct {
+	Times []float64 // seconds
+	Rates []float64 // bits/second
+	// OracleRate is the flow's expected (optimal) rate over the trace
+	// window, recomputed after each network event.
+	OracleRates []float64
+}
+
+// RunRateTrace runs a semi-dynamic scenario and records the receive
+// rate of the flow with the given index among the initially started
+// flows, sampled every sampleEvery.
+func RunRateTrace(cfg SemiDynamicConfig, flowIdx int, sampleEvery sim.Duration) RateTrace {
+	r := newSemiDynamicRun(cfg)
+	var trace RateTrace
+	r.eng.Every(sim.Time(sampleEvery), sampleEvery, func() {
+		if flowIdx < len(r.active) {
+			sf := r.active[flowIdx]
+			trace.Times = append(trace.Times, r.eng.Now().Seconds())
+			trace.Rates = append(trace.Rates, sf.flow.Meter.RateAt(r.eng.Now()))
+			trace.OracleRates = append(trace.OracleRates, r.oracleRates[sf.flow])
+		}
+	})
+	r.run()
+	return trace
+}

@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"math"
+	"testing"
+
+	"numfabric/internal/core"
+	"numfabric/internal/netsim"
+	"numfabric/internal/sim"
+)
+
+// TestTenantLevelFairness: two tenants share one bottleneck NIC.
+// Tenant A runs 3 flows, tenant B runs 1. Per-flow fairness would give
+// A 3/4 of the link; tenant-level proportional fairness must split it
+// 50/50 regardless of the flow-count imbalance (the §8 aggregate
+// generalization).
+func TestTenantLevelFairness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	eng := sim.NewEngine()
+	net := netsim.NewNetwork(eng)
+	tc := ScaledTopology()
+	cfg := DefaultConfig(NUMFabric, tc)
+	net.QueueFactory = cfg.QueueFactory()
+	topo := NewTopology(net, tc)
+	cfg.AttachAgents(net)
+
+	tenantA := NewTenant("A")
+	tenantB := NewTenant("B")
+	// All four flows converge on host 9's NIC.
+	tenantA.AddFlow(topo, cfg, 0, 9, 0, core.ProportionalFair())
+	tenantA.AddFlow(topo, cfg, 1, 9, 1, core.ProportionalFair())
+	tenantA.AddFlow(topo, cfg, 2, 9, 0, core.ProportionalFair())
+	tenantB.AddFlow(topo, cfg, 3, 9, 1, core.ProportionalFair())
+
+	eng.Run(sim.Time(15 * sim.Millisecond))
+	now := eng.Now()
+	ra, rb := tenantA.Rate(now), tenantB.Rate(now)
+
+	if math.Abs(ra+rb-1e10)/1e10 > 0.1 {
+		t.Errorf("total = %.3g, want ~10G", ra+rb)
+	}
+	ratio := ra / rb
+	if ratio < 0.7 || ratio > 1.5 {
+		t.Errorf("tenant split %.2f:1 (A=%.2fG B=%.2fG), want ~1:1", ratio, ra/1e9, rb/1e9)
+	}
+	if len(tenantA.Flows()) != 3 || len(tenantB.Flows()) != 1 {
+		t.Fatal("flow registration wrong")
+	}
+}
+
+// TestEquilibriumQueuesAreSmall validates §6's claim that the schemes
+// "target a small queue occupancy ... typically only a few packets at
+// equilibrium" despite the 1 MB provisioned buffers.
+func TestEquilibriumQueuesAreSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	eng := sim.NewEngine()
+	net := netsim.NewNetwork(eng)
+	tc := ScaledTopology()
+	cfg := DefaultConfig(NUMFabric, tc)
+	net.QueueFactory = cfg.QueueFactory()
+	topo := NewTopology(net, tc)
+	cfg.AttachAgents(net)
+
+	// Four long-lived flows into one NIC.
+	for i := 0; i < 4; i++ {
+		f := topo.NewFlow(i, 9, i%tc.Spines, 0)
+		cfg.AttachSender(net, f, core.ProportionalFair())
+		eng.Schedule(0, f.Start)
+	}
+	eng.Run(sim.Time(5 * sim.Millisecond))
+
+	// Sample the bottleneck queue over 2 ms of equilibrium.
+	var maxDepth int
+	samples := 0
+	eng.Every(eng.Now(), 50*sim.Microsecond, func() {
+		for _, port := range net.Links {
+			if d := port.Q.Len(); d > maxDepth {
+				maxDepth = d
+			}
+		}
+		samples++
+		if samples >= 40 {
+			eng.Stop()
+		}
+	})
+	eng.Run(sim.Forever)
+
+	// 4 flows x (rate-proportional slack + 3-packet floor): a few
+	// dozen packets at the very most, far below the 1MB (~700 pkt)
+	// buffer.
+	if maxDepth > 60 {
+		t.Errorf("max equilibrium queue depth = %d packets, want a few dozen max", maxDepth)
+	}
+	if maxDepth == 0 {
+		t.Error("no queueing at a 4-flow bottleneck? measurement broken")
+	}
+}

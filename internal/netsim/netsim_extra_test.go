@@ -1,0 +1,135 @@
+package netsim_test
+
+import (
+	"testing"
+
+	"numfabric/internal/netsim"
+	"numfabric/internal/sim"
+)
+
+func TestPacketPoolRecyclesCleanly(t *testing.T) {
+	// Run a flow long enough that the packet pool recycles heavily;
+	// every delivered payload byte must still be accounted exactly.
+	net, fwd, rev, a, b := line(dropTailFactory)
+	const size = 1 << 20
+	f := net.NewFlow(a, b, fwd, rev, size)
+	s := &burstSender{net: net, flow: f, burst: 4}
+	f.Sender = s
+	// Window-of-4 ack-clocked sender.
+	resend := func(p *netsim.Packet) {}
+	_ = resend
+	f.Sender = &ackClockedSender{net: net, flow: f, window: 4}
+	net.Engine.Schedule(0, f.Start)
+	net.Engine.Run(sim.Forever)
+	if !f.Done {
+		t.Fatalf("flow incomplete: %d/%d", f.RcvdBytes, size)
+	}
+	if f.RcvdBytes != size {
+		t.Fatalf("rcvd %d, want %d", f.RcvdBytes, size)
+	}
+}
+
+// ackClockedSender sends one packet per ACK, keeping `window` packets
+// outstanding.
+type ackClockedSender struct {
+	net    *netsim.Network
+	flow   *netsim.Flow
+	window int
+}
+
+func (s *ackClockedSender) Start() {
+	for i := 0; i < s.window; i++ {
+		s.sendNext()
+	}
+}
+
+func (s *ackClockedSender) sendNext() {
+	f := s.flow
+	if f.Size > 0 && f.NextSeq >= f.Size {
+		return
+	}
+	payload := netsim.MSS
+	if f.Size > 0 && f.Size-f.NextSeq < int64(payload) {
+		payload = int(f.Size - f.NextSeq)
+	}
+	seq := f.NextSeq
+	f.NextSeq += int64(payload)
+	f.SendData(seq, payload, nil)
+}
+
+func (s *ackClockedSender) OnAck(p *netsim.Packet) {
+	if p.Seq > s.flow.CumAcked {
+		s.flow.CumAcked = p.Seq
+	}
+	s.sendNext()
+}
+
+func TestRemainingAccounting(t *testing.T) {
+	net, fwd, rev, a, b := line(dropTailFactory)
+	f := net.NewFlow(a, b, fwd, rev, 10000)
+	if f.Remaining() != 10000 {
+		t.Errorf("remaining = %d", f.Remaining())
+	}
+	f.CumAcked = 4000
+	if f.Remaining() != 6000 {
+		t.Errorf("remaining = %d", f.Remaining())
+	}
+	f.CumAcked = 20000
+	if f.Remaining() != 0 {
+		t.Errorf("remaining clamped = %d", f.Remaining())
+	}
+	inf := net.NewFlow(a, b, fwd, rev, 0)
+	if inf.Remaining() != 1<<40 {
+		t.Errorf("unbounded remaining = %d", inf.Remaining())
+	}
+}
+
+func TestWrongRoutePanics(t *testing.T) {
+	net, fwd, _, a, b := line(dropTailFactory)
+	// Reverse path deliberately broken: second hop doesn't connect.
+	bad := []*netsim.Port{fwd[1], fwd[0]} // starts at S, not at B
+	f := net.NewFlow(a, b, fwd, bad, 0)
+	f.Sender = &ackClockedSender{net: net, flow: f, window: 1}
+	net.Engine.Schedule(0, f.Start)
+	defer func() {
+		if recover() == nil {
+			t.Error("inconsistent source route did not panic")
+		}
+	}()
+	net.Engine.Run(sim.Forever)
+}
+
+func TestPayloadLenOnControl(t *testing.T) {
+	p := &netsim.Packet{Kind: netsim.Ack, Size: 64}
+	if p.PayloadLen() != 0 {
+		t.Errorf("ack payload = %d", p.PayloadLen())
+	}
+	d := &netsim.Packet{Kind: netsim.Data, Size: 20} // < header
+	if d.PayloadLen() != 0 {
+		t.Errorf("degenerate payload = %d", d.PayloadLen())
+	}
+}
+
+func TestConnectRequiresQueueFactory(t *testing.T) {
+	eng := sim.NewEngine()
+	net := netsim.NewNetwork(eng)
+	a := net.NewNode("a")
+	b := net.NewNode("b")
+	defer func() {
+		if recover() == nil {
+			t.Error("Connect without QueueFactory did not panic")
+		}
+	}()
+	net.Connect(a, b, 10*sim.Gbps, sim.Microsecond)
+}
+
+func TestFlowWithoutSenderPanics(t *testing.T) {
+	net, fwd, rev, a, b := line(dropTailFactory)
+	f := net.NewFlow(a, b, fwd, rev, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("Start without sender did not panic")
+		}
+	}()
+	f.Start()
+}

@@ -1,0 +1,128 @@
+package netsim
+
+import (
+	"fmt"
+
+	"numfabric/internal/sim"
+)
+
+// Queue is a packet scheduler attached to an egress port. Enqueue may
+// drop (returning the victims, which can include p itself under
+// push-out policies like pFabric's); Dequeue returns nil when empty.
+type Queue interface {
+	Enqueue(p *Packet) (dropped []*Packet)
+	Dequeue() *Packet
+	Len() int
+	Bytes() int
+}
+
+// LinkAgent observes packets at an egress port to run a per-link
+// control law: xWI price computation (Fig. 3), DGD prices, RCP* rate
+// updates, or ECN marking. Agents see every packet (control packets
+// included, so utilization accounting reflects the wire); they are
+// responsible for restricting header updates to data packets.
+type LinkAgent interface {
+	// OnEnqueue runs when a packet is accepted into the queue.
+	OnEnqueue(p *Packet)
+	// OnDequeue runs when a packet begins transmission; the agent
+	// typically stamps feedback fields here.
+	OnDequeue(p *Packet)
+}
+
+// Node is a host or switch. Forwarding is source-routed: the packet
+// carries its egress ports, so nodes need no routing tables and the
+// Oracle sees exactly the routing matrix the simulator uses.
+type Node struct {
+	ID    int
+	Name  string
+	Ports []*Port
+
+	net *Network
+}
+
+func (n *Node) String() string { return n.Name }
+
+// Port is a directed egress: a queue, a transmitter of fixed rate, and
+// the attached link's propagation delay. A bidirectional cable is two
+// Ports, one on each node.
+type Port struct {
+	// LinkID is a network-unique index for this directed link; it is
+	// the link index used in Oracle problems.
+	LinkID int
+	Node   *Node
+	Peer   *Node
+	Rate   sim.BitRate
+	Delay  sim.Duration
+	Q      Queue
+	Agents []LinkAgent
+
+	busy bool
+	net  *Network
+
+	// Counters.
+	TxPackets uint64
+	TxBytes   uint64
+	Drops     uint64
+}
+
+func (p *Port) String() string {
+	return fmt.Sprintf("%s->%s", p.Node.Name, p.Peer.Name)
+}
+
+// Send enqueues pkt for transmission on this port, starting the
+// transmitter if idle.
+func (p *Port) Send(pkt *Packet) {
+	dropped := p.Q.Enqueue(pkt)
+	for _, d := range dropped {
+		p.Drops++
+		p.net.dropPacket(d)
+	}
+	accepted := true
+	for _, d := range dropped {
+		if d == pkt {
+			accepted = false
+			break
+		}
+	}
+	if accepted {
+		for _, a := range p.Agents {
+			a.OnEnqueue(pkt)
+		}
+	}
+	if !p.busy {
+		p.startTx()
+	}
+}
+
+func (p *Port) startTx() {
+	pkt := p.Q.Dequeue()
+	if pkt == nil {
+		return
+	}
+	for _, a := range p.Agents {
+		a.OnDequeue(pkt)
+	}
+	p.busy = true
+	p.TxPackets++
+	p.TxBytes += uint64(pkt.Size)
+	tx := p.Rate.TxTime(pkt.Size)
+	eng := p.net.Engine
+	eng.After(tx, func() {
+		p.busy = false
+		// Store-and-forward: the packet arrives at the peer after the
+		// propagation delay.
+		eng.After(p.Delay, func() { p.net.arrive(p, pkt) })
+		if p.Q.Len() > 0 {
+			p.startTx()
+		}
+	})
+}
+
+// Utilization returns transmitted bits divided by capacity over the
+// window since the counters were last reset by the caller.
+func (p *Port) Utilization(window sim.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(p.TxBytes) * 8 / (p.Rate.Float() * window.Seconds())
+}

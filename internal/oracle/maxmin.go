@@ -1,0 +1,136 @@
+// Package oracle computes reference allocations against which the
+// packet-level schemes are judged, mirroring the paper's "Oracle", "a
+// numerical fluid model simulation that takes the current network
+// state ... and outputs the optimal rate allocation according to the
+// NUM problem" (§6).
+//
+// It provides:
+//   - exact network-wide weighted max-min via progressive filling
+//     (the allocation Swift realizes for fixed weights, Eq. 8);
+//   - a fluid xWI iteration that solves general NUM problems (the
+//     paper proves the NUM optimum is its unique fixed point);
+//   - a fluid DGD (dual gradient descent) solver used as an
+//     independent cross-check and iteration-count baseline;
+//   - BwE bandwidth-function water-filling (§2, Figure 2).
+package oracle
+
+import "math"
+
+// WeightedMaxMin computes the network-wide weighted max-min fair
+// allocation by progressive filling: repeatedly find the most
+// constrained link (smallest remaining capacity per unit of unfrozen
+// weight), freeze every unfrozen flow crossing it at weight × share,
+// and continue on the residual capacities.
+//
+// capacity[l] is link l's capacity; paths[i] lists the links flow i
+// crosses; weight[i] > 0. The returned slice has one rate per flow.
+func WeightedMaxMin(capacity []float64, paths [][]int, weight []float64) []float64 {
+	nf, nl := len(paths), len(capacity)
+	x := make([]float64, nf)
+	frozen := make([]bool, nf)
+	rem := append([]float64(nil), capacity...)
+	// activeWeight[l]: total weight of unfrozen flows crossing l.
+	activeWeight := make([]float64, nl)
+	activeCount := make([]int, nl)
+	for i, p := range paths {
+		w := weight[i]
+		if w <= 0 {
+			w = 1e-12
+		}
+		for _, l := range p {
+			activeWeight[l] += w
+			activeCount[l]++
+		}
+	}
+	remaining := nf
+	for remaining > 0 {
+		// Find the bottleneck link: minimal fair share rem/activeWeight.
+		best, bestShare := -1, math.Inf(1)
+		for l := 0; l < nl; l++ {
+			if activeCount[l] == 0 {
+				continue
+			}
+			share := rem[l] / activeWeight[l]
+			if share < bestShare {
+				best, bestShare = l, share
+			}
+		}
+		if best == -1 {
+			// Flows remain but no link constrains them: can only
+			// happen with inconsistent input; stop rather than loop.
+			break
+		}
+		if bestShare < 0 {
+			bestShare = 0
+		}
+		// Freeze all unfrozen flows through the bottleneck.
+		for i, p := range paths {
+			if frozen[i] {
+				continue
+			}
+			crosses := false
+			for _, l := range p {
+				if l == best {
+					crosses = true
+					break
+				}
+			}
+			if !crosses {
+				continue
+			}
+			w := weight[i]
+			if w <= 0 {
+				w = 1e-12
+			}
+			x[i] = w * bestShare
+			frozen[i] = true
+			remaining--
+			for _, l := range p {
+				rem[l] -= x[i]
+				activeWeight[l] -= w
+				activeCount[l]--
+			}
+		}
+		// Guard against negative residuals from float error.
+		for l := range rem {
+			if rem[l] < 0 {
+				rem[l] = 0
+			}
+		}
+	}
+	return x
+}
+
+// MaxMin computes the unweighted max-min fair allocation.
+func MaxMin(capacity []float64, paths [][]int) []float64 {
+	w := make([]float64, len(paths))
+	for i := range w {
+		w[i] = 1
+	}
+	return WeightedMaxMin(capacity, paths, w)
+}
+
+// BottleneckOf returns, for each flow, the index of its bottleneck
+// link under allocation x: the link on its path with the smallest
+// slack capacity per remaining demand. Used by tests to verify the
+// max-min property (every flow is bottlenecked somewhere).
+func BottleneckOf(capacity []float64, paths [][]int, x []float64) []int {
+	load := make([]float64, len(capacity))
+	for i, p := range paths {
+		for _, l := range p {
+			load[l] += x[i]
+		}
+	}
+	out := make([]int, len(paths))
+	for i, p := range paths {
+		best, bestSlack := -1, math.Inf(1)
+		for _, l := range p {
+			slack := capacity[l] - load[l]
+			if slack < bestSlack {
+				best, bestSlack = l, slack
+			}
+		}
+		out[i] = best
+	}
+	return out
+}

@@ -1,0 +1,286 @@
+package oracle
+
+import (
+	"math"
+
+	"numfabric/internal/core"
+)
+
+// SolveOptions tunes the fluid solvers.
+type SolveOptions struct {
+	// MaxIter bounds the number of iterations (default 20000).
+	MaxIter int
+	// Tol is the relative rate-change convergence tolerance
+	// (default 1e-9).
+	Tol float64
+	// Eta is the xWI underutilization gain (Eq. 10; default 5, per
+	// Table 2 — xWI is largely insensitive to it).
+	Eta float64
+	// Beta is the xWI price-averaging parameter (Eq. 11; default 0.5).
+	Beta float64
+	// InitPrices, if non-nil, warm-starts the link prices (e.g. from a
+	// previous solve of a nearby problem); must have one entry per
+	// link. Warm starts cut iteration counts dramatically in
+	// event-driven fluid simulations where the flow set changes
+	// incrementally.
+	InitPrices []float64
+}
+
+func (o SolveOptions) withDefaults() SolveOptions {
+	if o.MaxIter <= 0 {
+		o.MaxIter = 20000
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	if o.Eta <= 0 {
+		o.Eta = 5
+	}
+	if o.Beta <= 0 || o.Beta >= 1 {
+		o.Beta = 0.5
+	}
+	return o
+}
+
+// Result reports a solved allocation.
+type Result struct {
+	// Rates holds one rate per flow (bits/second).
+	Rates []float64
+	// Prices holds the final per-link prices (dual variables).
+	Prices []float64
+	// Iterations is the number of iterations performed.
+	Iterations int
+	// Converged reports whether the tolerance was met before MaxIter.
+	Converged bool
+}
+
+// Solve computes the NUM-optimal allocation for p using the fluid xWI
+// iteration (§4.2): prices → weights (Eq. 7) → exact weighted max-min
+// (Eq. 8, via progressive filling) → price update (Eqs. 9–11). The
+// paper proves this dynamical system's unique fixed point solves the
+// NUM problem; we iterate it to numerical convergence.
+//
+// Multipath groups use the paper's §6.3 heuristic: each subflow's
+// weight is the aggregate weight from its own path price, scaled by
+// the subflow's share of the aggregate's throughput.
+func Solve(p *core.Problem, opts SolveOptions) Result {
+	opts = opts.withDefaults()
+	nf, nl := len(p.Flows), len(p.Capacity)
+	if nf == 0 {
+		return Result{Rates: nil, Prices: make([]float64, nl), Converged: true}
+	}
+
+	paths := make([][]int, nf)
+	for i, f := range p.Flows {
+		paths[i] = f.Links
+	}
+	maxCap := 0.0
+	for _, c := range p.Capacity {
+		maxCap = math.Max(maxCap, c)
+	}
+	wMin, wMax := 1e-3, 100*maxCap
+
+	// Initialize prices so that initial weights are on the order of a
+	// per-flow fair share, which keeps the first max-min sensible.
+	price := make([]float64, nl)
+	if opts.InitPrices != nil && len(opts.InitPrices) == nl {
+		copy(price, opts.InitPrices)
+	} else {
+		cnt := make([]int, nl)
+		for _, pth := range paths {
+			for _, l := range pth {
+				cnt[l]++
+			}
+		}
+		for l := range price {
+			n := cnt[l]
+			if n == 0 {
+				n = 1
+			}
+			price[l] = 1.0 / float64(n)
+		}
+		// Scale prices so a typical flow's U'⁻¹(path price) is near its
+		// fair share.
+		scale := 1.0
+		for g := range p.Groups {
+			grp := &p.Groups[g]
+			f0 := grp.Flows[0]
+			fair := p.Capacity[paths[f0][0]] / math.Max(1, float64(cnt[paths[f0][0]]))
+			target := grp.U.Marginal(fair)
+			sum := 0.0
+			for _, l := range paths[f0] {
+				sum += price[l]
+			}
+			if sum > 0 && target > 0 {
+				scale = target / sum
+			}
+			break
+		}
+		for l := range price {
+			price[l] *= scale
+		}
+	}
+
+	weights := make([]float64, nf)
+	share := make([]float64, nf) // multipath throughput shares
+	for g := range p.Groups {
+		n := float64(len(p.Groups[g].Flows))
+		for _, f := range p.Groups[g].Flows {
+			share[f] = 1 / n
+		}
+	}
+	var x []float64
+	prevX := make([]float64, nf)
+	prevPrice := make([]float64, nl)
+
+	pathPrice := func(i int) float64 {
+		sum := 0.0
+		for _, l := range paths[i] {
+			sum += price[l]
+		}
+		return sum
+	}
+
+	it := 0
+	converged := false
+	for ; it < opts.MaxIter; it++ {
+		// Weight assignment (Eq. 7), with the multipath share heuristic.
+		for g := range p.Groups {
+			grp := &p.Groups[g]
+			for _, f := range grp.Flows {
+				w := grp.U.InverseMarginal(pathPrice(f))
+				if len(grp.Flows) > 1 {
+					// Share floor lets an unused path keep probing.
+					s := math.Max(share[f], 1e-3)
+					w *= s
+				}
+				weights[f] = clamp(w, wMin, wMax)
+			}
+		}
+
+		// Swift: exact weighted max-min (Eq. 8).
+		x = WeightedMaxMin(p.Capacity, paths, weights)
+
+		// Update multipath shares from realized throughput.
+		for g := range p.Groups {
+			grp := &p.Groups[g]
+			if len(grp.Flows) <= 1 {
+				continue
+			}
+			total := 0.0
+			for _, f := range grp.Flows {
+				total += x[f]
+			}
+			if total <= 0 {
+				continue
+			}
+			for _, f := range grp.Flows {
+				// Smooth the share to stabilize the heuristic.
+				share[f] = 0.5*share[f] + 0.5*(x[f]/total)
+			}
+		}
+
+		// Price update (Eqs. 9–11).
+		load := make([]float64, nl)
+		minRes := make([]float64, nl)
+		hasFlow := make([]bool, nl)
+		for l := range minRes {
+			minRes[l] = math.Inf(1)
+		}
+		for g := range p.Groups {
+			grp := &p.Groups[g]
+			agg := 0.0
+			for _, f := range grp.Flows {
+				agg += x[f]
+			}
+			for _, f := range grp.Flows {
+				rate := x[f]
+				// For aggregates the KKT marginal is of the total rate.
+				marg := grp.U.Marginal(math.Max(agg, minPositive(rate)))
+				res := (marg - pathPrice(f)) / float64(len(paths[f]))
+				for _, l := range paths[f] {
+					load[l] += rate
+					if res < minRes[l] {
+						minRes[l] = res
+					}
+					hasFlow[l] = true
+				}
+			}
+		}
+		for l := 0; l < nl; l++ {
+			if !hasFlow[l] {
+				// No flows: drive the price to zero.
+				price[l] *= opts.Beta
+				continue
+			}
+			pres := price[l] + minRes[l]
+			u := load[l] / p.Capacity[l]
+			pnew := pres - opts.Eta*(1-u)*price[l]
+			if pnew < 0 {
+				pnew = 0
+			}
+			price[l] = opts.Beta*price[l] + (1-opts.Beta)*pnew
+		}
+
+		// Convergence: relative change in all rates below Tol AND
+		// prices stable relative to the current price scale. The
+		// second condition matters for sharply curved utilities
+		// (large α): legitimate prices can be many orders of
+		// magnitude below the decaying residue left on idle links by
+		// the β-averaging, and exiting on rate stability alone would
+		// return duals dominated by that residue.
+		if it > 0 {
+			maxRel := 0.0
+			for i := range x {
+				den := math.Max(math.Abs(prevX[i]), 1)
+				maxRel = math.Max(maxRel, math.Abs(x[i]-prevX[i])/den)
+			}
+			maxPrice := 0.0
+			for l := range price {
+				maxPrice = math.Max(maxPrice, price[l])
+			}
+			maxPriceDelta := 0.0
+			for l := range price {
+				maxPriceDelta = math.Max(maxPriceDelta, math.Abs(price[l]-prevPrice[l]))
+			}
+			if maxRel < opts.Tol && (maxPrice == 0 || maxPriceDelta < 1e-6*maxPrice) {
+				converged = true
+				it++
+				break
+			}
+		}
+		copy(prevX, x)
+		copy(prevPrice, price)
+	}
+	// Complementary-slackness projection: an unsaturated link's true
+	// dual is zero. The iteration drives such prices to zero
+	// geometrically but exits when the primal stabilizes, which can
+	// leave residue many orders of magnitude above the legitimate
+	// price scale of sharply curved utilities.
+	if x != nil {
+		load := p.LinkLoads(x)
+		for l := range price {
+			if load[l] < 0.995*p.Capacity[l] {
+				price[l] = 0
+			}
+		}
+	}
+	return Result{Rates: x, Prices: price, Iterations: it, Converged: converged}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func minPositive(v float64) float64 {
+	if v > 1 {
+		return v
+	}
+	return 1
+}

@@ -1,0 +1,29 @@
+package queue
+
+import "numfabric/internal/netsim"
+
+// ECN is a drop-tail FIFO that marks the Congestion Experienced bit on
+// arriving packets when the instantaneous queue occupancy exceeds a
+// threshold K, exactly the single-parameter marking scheme DCTCP
+// relies on.
+type ECN struct {
+	DropTail
+	// MarkThreshold is K in bytes; DCTCP guidance is ~20 packets at
+	// 10 Gb/s.
+	MarkThreshold int
+}
+
+// NewECN returns an ECN-marking FIFO with the given byte limit and
+// marking threshold.
+func NewECN(limitBytes, markThresholdBytes int) *ECN {
+	return &ECN{DropTail: *NewDropTail(limitBytes), MarkThreshold: markThresholdBytes}
+}
+
+// Enqueue marks p if the queue has built past the threshold, then
+// appends it FIFO-style.
+func (q *ECN) Enqueue(p *netsim.Packet) []*netsim.Packet {
+	if q.Bytes() >= q.MarkThreshold && p.Kind == netsim.Data {
+		p.CE = true
+	}
+	return q.DropTail.Enqueue(p)
+}

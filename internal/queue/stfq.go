@@ -1,0 +1,135 @@
+package queue
+
+import (
+	"container/heap"
+
+	"numfabric/internal/netsim"
+)
+
+// STFQ is Start-Time Fair Queueing (Goyal et al. [20]), the WFQ
+// approximation the NUMFabric switch sketch in §5 builds on. Each
+// arriving packet gets a virtual start time
+//
+//	S(p_i^k) = max(V, F(p_i^(k-1)))            (Eq. 12)
+//	F(p_i^k) = S(p_i^k) + L(p_i^k)/w_i         (Eq. 13)
+//
+// and packets are served in ascending virtual start time. The flow's
+// weight arrives in-band: the packet's VirtualLen field carries
+// L/w, set by the sender, so weights can change packet to packet —
+// the key difference from classical WFQ that xWI exploits.
+//
+// Control packets (VirtualLen == 0) have F = S, so they are scheduled
+// promptly without consuming virtual service.
+type STFQ struct {
+	limit   int
+	bytes   int
+	virtual float64
+	lastF   map[*netsim.Flow]float64
+	queued  map[*netsim.Flow]int
+	h       stfqHeap
+	arrival uint64
+}
+
+// NewSTFQ returns an STFQ scheduler bounded to limitBytes.
+func NewSTFQ(limitBytes int) *STFQ {
+	return &STFQ{
+		limit:  limitBytes,
+		lastF:  make(map[*netsim.Flow]float64),
+		queued: make(map[*netsim.Flow]int),
+	}
+}
+
+// staleFactor is the staleness threshold, in MTU-sized packet times
+// at the packet's current weight, beyond which an inherited finish
+// tag is considered pathological and clamped. Legitimate WFQ memory
+// (a backlogged flow's finish chain, a recently over-served flow's
+// debt) leads virtual time by at most tens of packet times; a tag
+// left behind by an era of orders-of-magnitude-smaller weight leads
+// by millions and would starve the flow forever after its weight
+// recovers (§4.1 lets weights change packet to packet, so this can
+// genuinely happen). Clamping only far beyond the legitimate range
+// preserves exact STFQ semantics in normal operation — including
+// intra-flow packet order, which a tighter clamp would break for
+// small tail fragments.
+const staleFactor = 1000
+
+// Enqueue inserts p, computing its virtual start time.
+func (q *STFQ) Enqueue(p *netsim.Packet) []*netsim.Packet {
+	if q.bytes+p.Size > q.limit {
+		return []*netsim.Packet{p}
+	}
+	s := q.virtual
+	if f, ok := q.lastF[p.Flow]; ok && f > s {
+		if p.VirtualLen > 0 && p.Size > 0 {
+			// Normalize to a full-MTU virtual length so small tail
+			// fragments judge staleness on the same scale as their
+			// full-size siblings.
+			vlenMTU := p.VirtualLen * netsim.MTU / float64(p.Size)
+			if f > q.virtual+staleFactor*vlenMTU {
+				f = q.virtual + float64(q.h.Len()+4)*vlenMTU
+			}
+		}
+		s = f
+	}
+	q.lastF[p.Flow] = s + p.VirtualLen
+	q.queued[p.Flow]++
+	p.SetSTFQStart(s)
+	q.arrival++
+	p.SetArrival(q.arrival)
+	q.bytes += p.Size
+	heap.Push(&q.h, p)
+	return nil
+}
+
+// Dequeue removes the packet with the smallest virtual start time and
+// advances the link's virtual time to it.
+func (q *STFQ) Dequeue() *netsim.Packet {
+	if q.h.Len() == 0 {
+		return nil
+	}
+	p := heap.Pop(&q.h).(*netsim.Packet)
+	q.bytes -= p.Size
+	q.virtual = p.STFQStart()
+	if n := q.queued[p.Flow]; n <= 1 {
+		delete(q.queued, p.Flow)
+	} else {
+		q.queued[p.Flow] = n - 1
+	}
+	if q.h.Len() == 0 {
+		// Busy period over: reset virtual time and forget finish tags.
+		// Any flow's stale F can only matter while the server is busy;
+		// with an empty queue the next busy period starts fresh, as in
+		// the self-clocked fair queueing formulations.
+		q.virtual = 0
+		clear(q.lastF)
+	}
+	return p
+}
+
+// Len returns the number of queued packets.
+func (q *STFQ) Len() int { return q.h.Len() }
+
+// Bytes returns the queued byte count.
+func (q *STFQ) Bytes() int { return q.bytes }
+
+// stfqHeap orders packets by (virtual start, arrival).
+type stfqHeap []*netsim.Packet
+
+func (h stfqHeap) Len() int { return len(h) }
+func (h stfqHeap) Less(i, j int) bool {
+	si, sj := h[i].STFQStart(), h[j].STFQStart()
+	if si != sj {
+		return si < sj
+	}
+	return h[i].Arrival() < h[j].Arrival()
+}
+func (h stfqHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *stfqHeap) Push(x any)   { *h = append(*h, x.(*netsim.Packet)) }
+func (h *stfqHeap) Pop() any {
+	old := *h
+	n := len(old)
+	p := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return p
+}

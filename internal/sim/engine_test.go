@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, at := range []Time{500, 100, 300, 200, 400} {
+		at := at
+		e.Schedule(at, func() { got = append(got, at) })
+	}
+	e.Run(Forever)
+	want := []Time{100, 200, 300, 400, 500}
+	if len(got) != len(want) {
+		t.Fatalf("executed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(42, func() { got = append(got, i) })
+	}
+	e.Run(Forever)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events reordered: got %v", got)
+		}
+	}
+}
+
+func TestEngineNowAdvances(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(100, func() {
+		if e.Now() != 100 {
+			t.Errorf("Now() = %v inside event, want 100", e.Now())
+		}
+		e.After(50, func() {
+			if e.Now() != 150 {
+				t.Errorf("Now() = %v, want 150", e.Now())
+			}
+		})
+	})
+	e.Run(Forever)
+	if e.Now() != 150 {
+		t.Errorf("final Now() = %v, want 150", e.Now())
+	}
+}
+
+func TestEngineRunUntilStopsEarly(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(100, func() { ran++ })
+	e.Schedule(200, func() { ran++ })
+	e.Run(150)
+	if ran != 1 {
+		t.Fatalf("ran %d events before t=150, want 1", ran)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+	e.Run(Forever)
+	if ran != 2 {
+		t.Fatalf("ran %d events total, want 2", ran)
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	e.Schedule(1, func() { ran++; e.Stop() })
+	e.Schedule(2, func() { ran++ })
+	e.Run(Forever)
+	if ran != 1 {
+		t.Fatalf("ran %d events after Stop, want 1", ran)
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(100, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(50, func() {})
+	})
+	e.Run(Forever)
+}
+
+func TestEngineEvery(t *testing.T) {
+	e := NewEngine()
+	var fires []Time
+	var cancel func()
+	cancel = e.Every(10, 5, func() {
+		fires = append(fires, e.Now())
+		if len(fires) == 3 {
+			cancel()
+		}
+	})
+	e.Run(Forever)
+	want := []Time{10, 15, 20}
+	if len(fires) != len(want) {
+		t.Fatalf("fired %d times, want %d: %v", len(fires), len(want), fires)
+	}
+	for i := range want {
+		if fires[i] != want[i] {
+			t.Errorf("fire %d at %v, want %v", i, fires[i], want[i])
+		}
+	}
+}
+
+func TestHeapPropertyQuick(t *testing.T) {
+	// Property: popping everything yields a (time, seq)-sorted order.
+	f := func(times []uint16) bool {
+		var h eventHeap
+		for i, v := range times {
+			h.push(event{at: Time(v), seq: uint64(i)})
+		}
+		prev := event{at: -1}
+		for len(h) > 0 {
+			ev := h.pop()
+			if ev.at < prev.at || (ev.at == prev.at && ev.seq < prev.seq) {
+				return false
+			}
+			prev = ev
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTxTimeExactness(t *testing.T) {
+	cases := []struct {
+		rate  BitRate
+		bytes int
+		want  Duration
+	}{
+		{10 * Gbps, 1500, 1200 * Nanosecond},
+		{40 * Gbps, 1500, 300 * Nanosecond},
+		{10 * Gbps, 64, Duration(51200)}, // 51.2 ns in ps
+		{1 * Gbps, 1250, 10 * Microsecond},
+	}
+	for _, c := range cases {
+		if got := c.rate.TxTime(c.bytes); got != c.want {
+			t.Errorf("TxTime(%v, %d) = %v ps, want %v ps", c.rate, c.bytes, int64(got), int64(c.want))
+		}
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(7), NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(8)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 10 {
+		t.Errorf("different seeds produced %d/1000 equal values", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(2)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	mean := sum / n
+	if mean < 0.98 || mean > 1.02 {
+		t.Errorf("exp mean = %v, want ~1.0", mean)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(3)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func BenchmarkEngineScheduleRun(b *testing.B) {
+	e := NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now()+Time(i%64), func() {})
+		if e.Pending() > 1024 {
+			e.Run(e.Now() + 64)
+		}
+	}
+	e.Run(Forever)
+}

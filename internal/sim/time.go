@@ -1,0 +1,103 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// Simulated time is an int64 count of picoseconds. At datacenter link
+// speeds this makes every packet serialization time an exact integer
+// (one bit at 10 Gb/s is exactly 100 ps, at 40 Gb/s exactly 25 ps), so
+// simulations are bit-deterministic across runs and platforms.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point in simulated time, in picoseconds since the start of
+// the simulation.
+type Time int64
+
+// Duration is a span of simulated time, in picoseconds.
+type Duration int64
+
+// Common durations.
+const (
+	Picosecond  Duration = 1
+	Nanosecond           = 1000 * Picosecond
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// Forever is a time later than any reachable simulation time.
+const Forever Time = 1<<63 - 1
+
+// Add returns t shifted by d.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+// Seconds returns the time as a floating-point number of seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e12 }
+
+// Seconds returns the duration as a floating-point number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / 1e12 }
+
+// Std converts a simulated duration to a time.Duration (nanosecond
+// resolution; sub-nanosecond detail is truncated).
+func (d Duration) Std() time.Duration { return time.Duration(int64(d) / 1000) }
+
+// FromStd converts a time.Duration into a simulated Duration.
+func FromStd(d time.Duration) Duration { return Duration(d.Nanoseconds()) * Nanosecond }
+
+// Seconds constructs a Duration from a floating-point number of seconds.
+func Seconds(s float64) Duration { return Duration(s * 1e12) }
+
+func (t Time) String() string {
+	return fmt.Sprintf("%.3fus", float64(t)/1e6)
+}
+
+func (d Duration) String() string {
+	return fmt.Sprintf("%.3fus", float64(d)/1e6)
+}
+
+// BitRate is a link speed in bits per second.
+type BitRate int64
+
+// Common bit rates.
+const (
+	BitPerSecond BitRate = 1
+	Kbps                 = 1000 * BitPerSecond
+	Mbps                 = 1000 * Kbps
+	Gbps                 = 1000 * Mbps
+)
+
+// TxTime returns the serialization delay for n bytes at rate r.
+// When 10^12 is divisible by r (true for all standard datacenter rates,
+// e.g. 10 and 40 Gb/s) the result is exact.
+func (r BitRate) TxTime(n int) Duration {
+	if r <= 0 {
+		return Duration(Forever)
+	}
+	bits := int64(n) * 8
+	if psPerBit := int64(1e12) / int64(r); int64(1e12)%int64(r) == 0 {
+		return Duration(bits * psPerBit)
+	}
+	return Duration(float64(bits) * 1e12 / float64(r))
+}
+
+// BytesPerSecond returns the rate in bytes/second.
+func (r BitRate) BytesPerSecond() float64 { return float64(r) / 8 }
+
+// Float returns the rate in bits/second as a float64.
+func (r BitRate) Float() float64 { return float64(r) }
+
+func (r BitRate) String() string {
+	switch {
+	case r >= Gbps && r%Gbps == 0:
+		return fmt.Sprintf("%dGbps", r/Gbps)
+	case r >= Mbps && r%Mbps == 0:
+		return fmt.Sprintf("%dMbps", r/Mbps)
+	default:
+		return fmt.Sprintf("%dbps", int64(r))
+	}
+}

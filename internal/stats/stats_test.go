@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"numfabric/internal/sim"
+)
+
+func TestEWMAFirstSample(t *testing.T) {
+	e := NewEWMA(80 * sim.Microsecond)
+	e.Update(0, 5.0)
+	if e.Value() != 5.0 {
+		t.Errorf("first sample should initialize: got %v", e.Value())
+	}
+}
+
+func TestEWMAConvergesToConstant(t *testing.T) {
+	e := NewEWMA(80 * sim.Microsecond)
+	now := sim.Time(0)
+	for i := 0; i < 1000; i++ {
+		now = now.Add(10 * sim.Microsecond)
+		e.Update(now, 42.0)
+	}
+	if math.Abs(e.Value()-42.0) > 1e-9 {
+		t.Errorf("value = %v, want 42", e.Value())
+	}
+}
+
+func TestEWMARiseTime(t *testing.T) {
+	// Step 0 -> 1: after time T the response is 1 - exp(-T/tau).
+	// The paper quotes ln(10)*80us = 185us to reach 90%.
+	tau := 80 * sim.Microsecond
+	e := NewEWMA(tau)
+	e.Update(0, 0)
+	now := sim.Time(0)
+	step := sim.Microsecond
+	for e.Value() < 0.9 {
+		now = now.Add(sim.Duration(step))
+		e.Update(now, 1.0)
+	}
+	riseUs := float64(now) / 1e6
+	if riseUs < 175 || riseUs > 195 {
+		t.Errorf("90%% rise time = %.1fus, want ~184us", riseUs)
+	}
+}
+
+func TestEWMADecaysWithGap(t *testing.T) {
+	e := NewEWMA(10 * sim.Microsecond)
+	e.Update(0, 100)
+	// A sample after a long gap should dominate.
+	e.Update(sim.Time(1000*sim.Microsecond), 1)
+	if math.Abs(e.Value()-1) > 1e-6 {
+		t.Errorf("after long gap value = %v, want ~1", e.Value())
+	}
+}
+
+func TestRateMeterConstantStream(t *testing.T) {
+	m := NewRateMeter(20 * sim.Microsecond)
+	// 1500B packets every 1.2us = 10 Gbps.
+	now := sim.Time(0)
+	for i := 0; i < 500; i++ {
+		m.Observe(now, 1500)
+		now = now.Add(sim.Duration(1200 * sim.Nanosecond))
+	}
+	got := m.Rate()
+	want := 1e10
+	if math.Abs(got-want)/want > 0.01 {
+		t.Errorf("rate = %v, want ~%v", got, want)
+	}
+}
+
+func TestPercentileKnownValues(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); got != c.want {
+			t.Errorf("Percentile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileEmpty(t *testing.T) {
+	if !math.IsNaN(Percentile(nil, 0.5)) {
+		t.Error("empty percentile should be NaN")
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 0.5)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentileMonotoneQuick(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		pa := math.Mod(math.Abs(a), 1)
+		pb := math.Mod(math.Abs(b), 1)
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(xs, pa) <= Percentile(xs, pb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	s := Summarize(xs)
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Mean != 3 {
+		t.Errorf("unexpected summary: %+v", s)
+	}
+}
+
+func TestCDFMonotone(t *testing.T) {
+	xs := []float64{3, 1, 2, 2, 5}
+	cdf := CDF(xs)
+	if cdf[len(cdf)-1].P != 1 {
+		t.Errorf("CDF should end at 1: %+v", cdf)
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].X <= cdf[i-1].X || cdf[i].P <= cdf[i-1].P {
+			t.Errorf("CDF not strictly increasing: %+v", cdf)
+		}
+	}
+	// Duplicates collapse into one point.
+	for _, pt := range cdf {
+		if pt.X == 2 && pt.P != 0.6 {
+			t.Errorf("P(x<=2) = %v, want 0.6", pt.P)
+		}
+	}
+}
+
+func TestMeanMedian(t *testing.T) {
+	if Mean([]float64{2, 4}) != 3 {
+		t.Error("mean wrong")
+	}
+	if Median([]float64{1, 2, 100}) != 2 {
+		t.Error("median wrong")
+	}
+}

@@ -1,0 +1,109 @@
+package transport
+
+import (
+	"numfabric/internal/core"
+	"numfabric/internal/netsim"
+)
+
+// DGDSender is the idealized Dual Gradient Descent host of §6: "The
+// sources calculate their sending rates from the network price
+// (obtained from ACKs) according to Eq. 3. They then transmit at
+// exactly this rate on a packet-by-packet basis", with unacked bytes
+// capped at 2×BDP.
+type DGDSender struct {
+	*pacedSender
+	u core.Utility
+}
+
+// NewDGDSender attaches a DGD transport with utility u to f.
+func NewDGDSender(net *netsim.Network, f *netsim.Flow, u core.Utility, p DGDParams) *DGDSender {
+	s := &DGDSender{u: u}
+	s.pacedSender = newPacedSender(net, f, p.BaseRTT, func(pkt *netsim.Packet) {})
+	f.Sender = s
+	return s
+}
+
+// Start begins paced transmission (at line rate until the first price
+// feedback arrives — with zero prices Eq. 3 demands infinite rate,
+// clamped to the NIC).
+func (s *DGDSender) Start() { s.start() }
+
+// OnAck re-derives the rate from the path price (Eq. 3):
+// x = U'⁻¹(Σ p_l).
+func (s *DGDSender) OnAck(p *netsim.Packet) {
+	s.onAck(p)
+	if p.EchoPathLen > 0 {
+		s.setRate(s.u.InverseMarginal(p.EchoPathPrice))
+	}
+}
+
+// Rate returns the current pacing rate (bits/second).
+func (s *DGDSender) Rate() float64 { return s.rate }
+
+// DGDAgent is the DGD switch link agent: the gradient price update of
+// Eq. 14, p ← [p + a(y−C) + b·q]₊, run periodically. The queue term
+// b·q (the paper's addition to the classic Eq. 4) controls standing
+// queues.
+type DGDAgent struct {
+	port *netsim.Port
+
+	Price         float64
+	bytesServiced int64
+	params        DGDParams
+	bdpBytes      float64
+}
+
+// NewDGDAgent attaches DGD price computation to port.
+func NewDGDAgent(net *netsim.Network, port *netsim.Port, p DGDParams) *DGDAgent {
+	a := &DGDAgent{
+		port:     port,
+		params:   p,
+		bdpBytes: port.Rate.Float() / 8 * p.BaseRTT.Seconds(),
+	}
+	port.Agents = append(port.Agents, a)
+	net.Engine.Every(net.Now().Add(p.UpdateInterval), p.UpdateInterval, a.update)
+	return a
+}
+
+// OnEnqueue is part of netsim.LinkAgent; DGD needs nothing at enqueue.
+func (a *DGDAgent) OnEnqueue(p *netsim.Packet) {}
+
+// OnDequeue accumulates served bytes (all packets — ACK load is real)
+// and stamps the price into data packets.
+func (a *DGDAgent) OnDequeue(p *netsim.Packet) {
+	a.bytesServiced += int64(p.Size)
+	if p.Kind != netsim.Data {
+		return
+	}
+	p.PathPrice += a.Price
+	p.PathLen++
+}
+
+func (a *DGDAgent) update() {
+	c := a.port.Rate.Float()
+	y := float64(a.bytesServiced) * 8 / a.params.UpdateInterval.Seconds()
+	q := float64(a.port.Q.Bytes())
+	// Normalized Eq. 14: gains are dimensionless, PriceRef carries the
+	// price scale (see DGDParams).
+	delta := a.params.PriceRef * (a.params.GainA*(y-c)/c + a.params.GainB*q/a.bdpBytes)
+	a.Price += delta
+	if a.Price < 0 {
+		a.Price = 0
+	}
+	a.bytesServiced = 0
+}
+
+// PriceRefFor computes a reference price scale for DGD: the marginal
+// utility at a representative fair-share rate. Passing the utility a
+// typical flow uses and the expected per-flow share keeps the
+// dimensionless gains meaningful at any link speed, mirroring how the
+// paper tuned a and b per workload.
+func PriceRefFor(u core.Utility, fairShare float64) float64 {
+	if fairShare <= 0 {
+		fairShare = 1e9
+	}
+	return u.Marginal(fairShare)
+}
+
+var _ netsim.LinkAgent = (*DGDAgent)(nil)
+var _ netsim.Sender = (*DGDSender)(nil)

@@ -1,0 +1,158 @@
+// Package transport implements the host rate-control algorithms and
+// switch link agents for every scheme the paper evaluates (§6):
+//
+//   - NUMFabric: the Swift weighted max-min transport (§4.1) plus the
+//     xWI weight/price computation (§4.2, §5);
+//   - DGD: the Dual Gradient Descent baseline (§3, Eq. 14);
+//   - RCP*: α-fair RCP (Eq. 15–16);
+//   - DCTCP: the deployed ECN-based congestion control of Fig. 4b;
+//   - pFabric: the FCT-minimizing comparison of Fig. 7.
+package transport
+
+import (
+	"numfabric/internal/sim"
+)
+
+// NUMFabricParams are the Swift/xWI knobs with the paper's defaults
+// (Table 2).
+type NUMFabricParams struct {
+	// EWMATime is the Swift rate-estimator time constant (20 µs).
+	EWMATime sim.Duration
+	// DT is the window slack beyond the BDP (6 µs ≈ 5 packets at
+	// 10 Gb/s; §6.2 discusses the trade-off).
+	DT sim.Duration
+	// BaseRTT is d0, the zero-queue fabric RTT (16 µs topology RTT).
+	BaseRTT sim.Duration
+	// PriceUpdateInterval is the synchronized xWI price period (30 µs,
+	// ~2 RTTs).
+	PriceUpdateInterval sim.Duration
+	// Eta is the underutilization gain η of Eq. 10 (5).
+	Eta float64
+	// Beta is the price-averaging factor β of Eq. 11 (0.5).
+	Beta float64
+	// InitialBurst is the packets sent before feedback arrives (3).
+	InitialBurst int
+	// MinWindow floors the congestion window in packets so WFQ always
+	// has a packet of each backlogged flow to schedule (2).
+	MinWindow int
+	// InitWindowBDP, if true, opens the first window to a full BDP
+	// (used in the FCT experiments, mimicking pFabric's initial
+	// window; §6.3 footnote).
+	InitWindowBDP bool
+	// DisablePairProbing is an ablation switch: sample EVERY
+	// inter-packet gap for the rate estimate (the naive reading of
+	// §4.1) instead of only back-to-back pair gaps. Expect window-
+	// starved flows to under-achieve their entitlement; see DESIGN.md
+	// reproduction note 1.
+	DisablePairProbing bool
+}
+
+// DefaultNUMFabric returns Table 2's NUMFabric settings for a network
+// with the given base RTT.
+func DefaultNUMFabric(baseRTT sim.Duration) NUMFabricParams {
+	return NUMFabricParams{
+		EWMATime:            20 * sim.Microsecond,
+		DT:                  6 * sim.Microsecond,
+		BaseRTT:             baseRTT,
+		PriceUpdateInterval: 30 * sim.Microsecond,
+		Eta:                 5,
+		Beta:                0.5,
+		InitialBurst:        3,
+		MinWindow:           2,
+	}
+}
+
+// Slowed returns the parameters slowed by factor k: the §6.2 recipe
+// for extreme α values (2× slower control loop: price interval and
+// EWMA time scaled up).
+func (p NUMFabricParams) Slowed(k float64) NUMFabricParams {
+	p.EWMATime = sim.Duration(float64(p.EWMATime) * k)
+	p.PriceUpdateInterval = sim.Duration(float64(p.PriceUpdateInterval) * k)
+	return p
+}
+
+// DGDParams tune the Dual Gradient Descent scheme. GainA and GainB
+// correspond to a and b in Eq. 14 (price += a(y−C) + b·q), with the
+// same roles as Table 2's values; they are normalized here so the
+// defaults work at any link speed: the applied step is
+//
+//	Δp = PriceRef · (GainA·(y−C)/C + GainB·q/BDPBytes)
+//
+// where PriceRef is a per-experiment price scale (≈ the optimal price
+// magnitude, set from the utility at a fair-share rate guess).
+type DGDParams struct {
+	UpdateInterval sim.Duration
+	GainA          float64
+	GainB          float64
+	// PriceRef scales the dimensionless gains into price units.
+	PriceRef float64
+	// BaseRTT is d0, used with the NIC rate for the 2×BDP cap the
+	// paper imposes on unacknowledged bytes.
+	BaseRTT sim.Duration
+}
+
+// DefaultDGD returns gains that converge (without oscillating) across
+// this repo's experiments; like the paper we swept the gain space and
+// picked the fastest stable point.
+func DefaultDGD(baseRTT sim.Duration, priceRef float64) DGDParams {
+	return DGDParams{
+		UpdateInterval: 16 * sim.Microsecond,
+		GainA:          0.05,
+		GainB:          0.015,
+		PriceRef:       priceRef,
+		BaseRTT:        baseRTT,
+	}
+}
+
+// RCPParams tune RCP* (Eq. 15): the advertised fair rate on each link
+// evolves as R ← R·(1 + (T/d)·(a(C−y) − b·q/d)/C).
+type RCPParams struct {
+	UpdateInterval sim.Duration
+	GainA          float64
+	GainB          float64
+	// Alpha is the α-fairness exponent of the objective (Eq. 16).
+	Alpha float64
+	// BaseRTT is d, the running-average RTT (fixed to the fabric RTT
+	// in simulation), also used for the 2×BDP cap.
+	BaseRTT sim.Duration
+}
+
+// DefaultRCP returns Table 2-style RCP* settings for objective α.
+func DefaultRCP(baseRTT sim.Duration, alpha float64) RCPParams {
+	return RCPParams{
+		UpdateInterval: 16 * sim.Microsecond,
+		GainA:          0.4,
+		GainB:          0.2,
+		Alpha:          alpha,
+		BaseRTT:        baseRTT,
+	}
+}
+
+// DCTCPParams tune DCTCP.
+type DCTCPParams struct {
+	// G is the gain of the marked-fraction EWMA (1/16).
+	G float64
+	// BaseRTT sizes the initial window and paces window growth.
+	BaseRTT sim.Duration
+	// InitWindowPkts is the slow-start initial window (10).
+	InitWindowPkts int
+}
+
+// DefaultDCTCP returns standard DCTCP settings.
+func DefaultDCTCP(baseRTT sim.Duration) DCTCPParams {
+	return DCTCPParams{G: 1.0 / 16, BaseRTT: baseRTT, InitWindowPkts: 10}
+}
+
+// PFabricParams tune the minimal pFabric host transport.
+type PFabricParams struct {
+	// BaseRTT sizes the (fixed) BDP window and the retransmission
+	// timeout.
+	BaseRTT sim.Duration
+	// RTOMultiple is the go-back-N timeout in RTTs (3).
+	RTOMultiple float64
+}
+
+// DefaultPFabric returns the pFabric host settings.
+func DefaultPFabric(baseRTT sim.Duration) PFabricParams {
+	return PFabricParams{BaseRTT: baseRTT, RTOMultiple: 3}
+}

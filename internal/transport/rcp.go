@@ -1,0 +1,105 @@
+package transport
+
+import (
+	"math"
+
+	"numfabric/internal/netsim"
+)
+
+// RCPSender is the RCP* host (§6): each link advertises a fair-share
+// rate R_l; a packet accumulates Σ R_l^(-α) along its path, and the
+// source sends at
+//
+//	x = (Σ_l R_l^(-α))^(-1/α)                    (Eq. 16)
+//
+// which equals min R_l as α→∞ (max-min, classic RCP) and implements
+// α-fairness in general. Unacked bytes are capped at 2×BDP, as for
+// DGD.
+type RCPSender struct {
+	*pacedSender
+	alpha float64
+}
+
+// NewRCPSender attaches an RCP* transport to f.
+func NewRCPSender(net *netsim.Network, f *netsim.Flow, p RCPParams) *RCPSender {
+	s := &RCPSender{alpha: p.Alpha}
+	s.pacedSender = newPacedSender(net, f, p.BaseRTT, func(pkt *netsim.Packet) {})
+	f.Sender = s
+	return s
+}
+
+// Start begins paced transmission at line rate until feedback arrives.
+func (s *RCPSender) Start() { s.start() }
+
+// OnAck applies Eq. 16 to the echoed Σ R^(-α).
+func (s *RCPSender) OnAck(p *netsim.Packet) {
+	s.onAck(p)
+	if p.EchoRCPSum > 0 {
+		s.setRate(math.Pow(p.EchoRCPSum, -1/s.alpha))
+	}
+}
+
+// Rate returns the current pacing rate (bits/second).
+func (s *RCPSender) Rate() float64 { return s.rate }
+
+// RCPAgent is the RCP* switch link agent: the advertised rate evolves
+// per Eq. 15,
+//
+//	R ← R·(1 + (T/d)·(a(C−y) − b·q/d)/C)
+//
+// and each departing data packet accumulates R^(-α).
+type RCPAgent struct {
+	port *netsim.Port
+
+	R             float64 // advertised fair rate, bits/second
+	bytesServiced int64
+	params        RCPParams
+}
+
+// NewRCPAgent attaches RCP* rate computation to port. R starts at the
+// link capacity (the standard RCP initialization).
+func NewRCPAgent(net *netsim.Network, port *netsim.Port, p RCPParams) *RCPAgent {
+	a := &RCPAgent{port: port, R: port.Rate.Float(), params: p}
+	port.Agents = append(port.Agents, a)
+	net.Engine.Every(net.Now().Add(p.UpdateInterval), p.UpdateInterval, a.update)
+	return a
+}
+
+// OnEnqueue is part of netsim.LinkAgent; RCP* needs nothing at
+// enqueue.
+func (a *RCPAgent) OnEnqueue(p *netsim.Packet) {}
+
+// OnDequeue accumulates served bytes (all packets — ACK load is real)
+// and adds the R^(-α) term to data packets.
+func (a *RCPAgent) OnDequeue(p *netsim.Packet) {
+	a.bytesServiced += int64(p.Size)
+	if p.Kind != netsim.Data {
+		return
+	}
+	p.RCPSum += math.Pow(a.R, -a.params.Alpha)
+	p.PathLen++
+}
+
+func (a *RCPAgent) update() {
+	c := a.port.Rate.Float()
+	y := float64(a.bytesServiced) * 8 / a.params.UpdateInterval.Seconds()
+	q := float64(a.port.Q.Bytes()) * 8 // bits of backlog
+	t := a.params.UpdateInterval.Seconds()
+	d := a.params.BaseRTT.Seconds()
+	grad := (a.params.GainA*(c-y) - a.params.GainB*q/d) / c
+	a.R *= 1 + (t/d)*grad
+	// Keep R in a sane band: a tiny floor prevents deadlock after deep
+	// backlog. The ceiling sits far above capacity: on underutilized
+	// links R must be free to grow until its R^(-α) term is negligible
+	// in Eq. 16 (only bottleneck links should price the flow).
+	if a.R < c/1e4 {
+		a.R = c / 1e4
+	}
+	if a.R > 1e3*c {
+		a.R = 1e3 * c
+	}
+	a.bytesServiced = 0
+}
+
+var _ netsim.LinkAgent = (*RCPAgent)(nil)
+var _ netsim.Sender = (*RCPSender)(nil)

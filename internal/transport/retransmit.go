@@ -1,0 +1,61 @@
+package transport
+
+import (
+	"numfabric/internal/netsim"
+	"numfabric/internal/sim"
+)
+
+// retransmitter implements go-back-N loss recovery: if no cumulative
+// progress happens for one timeout while data is outstanding, the
+// sender rewinds NextSeq to the cumulative ACK point and refills its
+// window. Only pFabric drops packets by design; the other schemes keep
+// it as a safety net.
+type retransmitter struct {
+	net    *netsim.Network
+	flow   *netsim.Flow
+	rto    sim.Duration
+	refill func()
+	// lastSeen snapshots CumAcked at each tick; a flow is considered
+	// stalled only if the snapshot is unchanged a full timeout later.
+	lastSeen int64
+	armed    bool
+}
+
+func newRetransmitter(net *netsim.Network, f *netsim.Flow, rto sim.Duration, refill func()) *retransmitter {
+	return &retransmitter{net: net, flow: f, rto: rto, refill: refill, lastSeen: -1}
+}
+
+// progress is a notification hook for cumulative-ACK advancement;
+// the current implementation needs no per-ACK state (staleness is
+// judged purely from tick-time snapshots), but senders call it at the
+// natural place so alternative policies (e.g. adaptive timeouts) can
+// be dropped in.
+func (r *retransmitter) progress() {}
+
+// arm starts the timeout loop.
+func (r *retransmitter) arm() {
+	if r.armed {
+		return
+	}
+	r.armed = true
+	r.lastSeen = -1
+	r.tick()
+}
+
+func (r *retransmitter) tick() {
+	f := r.flow
+	r.net.Engine.After(r.rto, func() {
+		if f.Done || f.Stopped {
+			r.armed = false
+			return
+		}
+		outstanding := f.NextSeq > f.CumAcked
+		if outstanding && f.CumAcked == r.lastSeen {
+			// No progress for a full timeout: rewind and resend.
+			f.NextSeq = f.CumAcked
+			r.refill()
+		}
+		r.lastSeen = f.CumAcked
+		r.tick()
+	})
+}

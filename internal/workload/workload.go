@@ -1,0 +1,196 @@
+// Package workload generates the traffic the paper evaluates with:
+// the heavy-tailed web-search and enterprise flow-size distributions
+// (§6.1 "Dynamic Workloads"), Poisson arrival processes at controlled
+// load, permutation traffic (§6.3 resource pooling), and the
+// semi-dynamic event script of §6.1.
+package workload
+
+import (
+	"math"
+	"sort"
+
+	"numfabric/internal/sim"
+)
+
+// SizeCDF is an empirical flow-size distribution: piecewise log-linear
+// between (bytes, probability) points.
+type SizeCDF struct {
+	name string
+	pts  []cdfPoint
+}
+
+type cdfPoint struct {
+	bytes float64
+	p     float64
+}
+
+// newSizeCDF builds a CDF from points sorted by probability; the
+// first point anchors the minimum size.
+func newSizeCDF(name string, pts []cdfPoint) *SizeCDF {
+	cp := append([]cdfPoint(nil), pts...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i].p < cp[j].p })
+	return &SizeCDF{name: name, pts: cp}
+}
+
+// Name identifies the distribution.
+func (c *SizeCDF) Name() string { return c.name }
+
+// Sample draws a flow size in bytes using inverse-transform sampling
+// with log-linear interpolation between the CDF's anchor points
+// (heavy-tailed distributions interpolate far better in log space).
+func (c *SizeCDF) Sample(u float64) int64 {
+	pts := c.pts
+	if u <= pts[0].p {
+		return int64(pts[0].bytes)
+	}
+	if u >= pts[len(pts)-1].p {
+		return int64(pts[len(pts)-1].bytes)
+	}
+	i := sort.Search(len(pts), func(i int) bool { return pts[i].p >= u }) // pts[i-1].p < u <= pts[i].p
+	lo, hi := pts[i-1], pts[i]
+	frac := (u - lo.p) / (hi.p - lo.p)
+	logSize := math.Log(lo.bytes) + frac*(math.Log(hi.bytes)-math.Log(lo.bytes))
+	return int64(math.Exp(logSize))
+}
+
+// Mean returns the distribution's mean flow size in bytes, computed by
+// numerical integration of the sampled inverse CDF.
+func (c *SizeCDF) Mean() float64 {
+	const steps = 100000
+	sum := 0.0
+	for i := 0; i < steps; i++ {
+		u := (float64(i) + 0.5) / steps
+		sum += float64(c.Sample(u))
+	}
+	return sum / steps
+}
+
+// WebSearch is the web-search cluster workload of [3] used in §6.1 and
+// §6.3: "about 50% of the flows are smaller than 100 KB, but 95% of
+// all bytes belong to the larger 30% of the flows that are larger than
+// 1 MB". Sizes are the standard DCTCP-paper anchors.
+func WebSearch() *SizeCDF {
+	const kb = 1 << 10
+	return newSizeCDF("websearch", []cdfPoint{
+		{6 * kb, 0.15},
+		{13 * kb, 0.20},
+		{19 * kb, 0.30},
+		{33 * kb, 0.40},
+		{53 * kb, 0.53},
+		{133 * kb, 0.60},
+		{667 * kb, 0.70},
+		{1467 * kb, 0.80},
+		{3333 * kb, 0.90},
+		{6667 * kb, 0.95},
+		{20000 * kb, 1.00},
+	})
+}
+
+// Enterprise is the large-enterprise workload of [4] used in §6.1:
+// "also heavy-tailed, but has many more short flows with 95% of the
+// flows smaller than 10 KB", with ~70% of flows of only 1–2 packets.
+func Enterprise() *SizeCDF {
+	const kb = 1 << 10
+	return newSizeCDF("enterprise", []cdfPoint{
+		{1 * kb, 0.45},
+		{2 * kb, 0.62},
+		{3 * kb, 0.70},
+		{5 * kb, 0.80},
+		{7 * kb, 0.90},
+		{10 * kb, 0.95},
+		{30 * kb, 0.97},
+		{100 * kb, 0.98},
+		{1000 * kb, 0.99},
+		{10000 * kb, 1.00},
+	})
+}
+
+// Uniform returns a degenerate CDF that always yields size bytes; it
+// makes deterministic tests easy.
+func Uniform(size int64) *SizeCDF {
+	return newSizeCDF("uniform", []cdfPoint{{float64(size), 1}})
+}
+
+// Arrival describes one flow arrival in a dynamic workload.
+type Arrival struct {
+	At   sim.Time
+	Src  int
+	Dst  int
+	Size int64
+}
+
+// PoissonConfig parameterizes a Poisson open-loop workload on a fabric
+// of Hosts hosts whose access links run at HostLink.
+type PoissonConfig struct {
+	Hosts    int
+	HostLink sim.BitRate
+	// Load is the target average utilization of the aggregate host
+	// bandwidth (the paper sweeps 0.2–0.8).
+	Load float64
+	// CDF draws flow sizes.
+	CDF *SizeCDF
+	// Duration bounds the arrival horizon.
+	Duration sim.Duration
+	// MaxFlows, if > 0, caps the number of arrivals.
+	MaxFlows int
+}
+
+// Poisson generates a flow arrival schedule: arrivals form a Poisson
+// process with rate λ = Load × Hosts × HostLink / meanSize, and each
+// flow picks a uniform random source and a distinct uniform random
+// destination.
+func Poisson(cfg PoissonConfig, rng *sim.RNG) []Arrival {
+	mean := cfg.CDF.Mean()
+	// Bits per second the workload must inject to hit the load target.
+	aggregate := cfg.Load * float64(cfg.Hosts) * cfg.HostLink.Float()
+	lambda := aggregate / (mean * 8) // flows per second
+	var out []Arrival
+	t := sim.Time(0)
+	for {
+		gap := sim.Seconds(rng.ExpFloat64() / lambda)
+		t = t.Add(gap)
+		if t > sim.Time(cfg.Duration) {
+			break
+		}
+		src := rng.Intn(cfg.Hosts)
+		dst := rng.Intn(cfg.Hosts - 1)
+		if dst >= src {
+			dst++
+		}
+		out = append(out, Arrival{At: t, Src: src, Dst: dst, Size: cfg.CDF.Sample(rng.Float64())})
+		if cfg.MaxFlows > 0 && len(out) >= cfg.MaxFlows {
+			break
+		}
+	}
+	return out
+}
+
+// Permutation returns a one-to-one traffic pattern: sender i in the
+// first half sends to receiver perm(i) in the second half, as in the
+// MPTCP evaluation §6.3 replicates ("servers 1–64 each send to one
+// server among 65–128").
+func Permutation(hosts int, rng *sim.RNG) [][2]int {
+	half := hosts / 2
+	perm := rng.Perm(half)
+	out := make([][2]int, half)
+	for i := 0; i < half; i++ {
+		out[i] = [2]int{i, half + perm[i]}
+	}
+	return out
+}
+
+// RandomPairs returns n random (src, dst) pairs with src ≠ dst, the
+// path population for the semi-dynamic scenario ("we randomly pair
+// 1000 senders and receivers among the 128 servers").
+func RandomPairs(hosts, n int, rng *sim.RNG) [][2]int {
+	out := make([][2]int, n)
+	for i := range out {
+		src := rng.Intn(hosts)
+		dst := rng.Intn(hosts - 1)
+		if dst >= src {
+			dst++
+		}
+		out[i] = [2]int{src, dst}
+	}
+	return out
+}

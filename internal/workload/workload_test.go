@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"numfabric/internal/sim"
+)
+
+func TestWebSearchShape(t *testing.T) {
+	c := WebSearch()
+	rng := sim.NewRNG(1)
+	const n = 200000
+	var under100KB, totalFlows int
+	var bytesBig, bytesAll float64
+	for i := 0; i < n; i++ {
+		s := c.Sample(rng.Float64())
+		totalFlows++
+		if s < 100<<10 {
+			under100KB++
+		}
+		bytesAll += float64(s)
+		if s > 1<<20 {
+			bytesBig += float64(s)
+		}
+	}
+	// ~50% of flows < 100 KB (paper: "about 50%").
+	frac := float64(under100KB) / float64(totalFlows)
+	if frac < 0.40 || frac > 0.65 {
+		t.Errorf("fraction under 100KB = %.2f, want ~0.5", frac)
+	}
+	// ~95% of bytes in flows > 1 MB.
+	byteFrac := bytesBig / bytesAll
+	if byteFrac < 0.80 || byteFrac > 0.99 {
+		t.Errorf("byte share of >1MB flows = %.2f, want ~0.95", byteFrac)
+	}
+}
+
+func TestEnterpriseShape(t *testing.T) {
+	c := Enterprise()
+	rng := sim.NewRNG(2)
+	const n = 200000
+	var under10KB, tiny int
+	for i := 0; i < n; i++ {
+		s := c.Sample(rng.Float64())
+		if s <= 10<<10 {
+			under10KB++
+		}
+		if s <= 3<<10 { // 1-2 packets
+			tiny++
+		}
+	}
+	if f := float64(under10KB) / n; f < 0.90 {
+		t.Errorf("fraction <= 10KB = %.2f, want >= 0.9 (paper: 95%%)", f)
+	}
+	if f := float64(tiny) / n; f < 0.6 {
+		t.Errorf("fraction of 1-2 packet flows = %.2f, want ~0.7", f)
+	}
+}
+
+func TestSampleMonotoneInQuantile(t *testing.T) {
+	c := WebSearch()
+	prev := int64(0)
+	for u := 0.01; u < 1.0; u += 0.01 {
+		s := c.Sample(u)
+		if s < prev {
+			t.Fatalf("CDF sampling not monotone at u=%v", u)
+		}
+		prev = s
+	}
+}
+
+func TestUniformCDF(t *testing.T) {
+	c := Uniform(12345)
+	for _, u := range []float64{0, 0.3, 0.99, 1} {
+		if c.Sample(u) != 12345 {
+			t.Errorf("Uniform sample at %v = %d", u, c.Sample(u))
+		}
+	}
+	if math.Abs(c.Mean()-12345) > 1 {
+		t.Errorf("mean = %v", c.Mean())
+	}
+}
+
+func TestPoissonLoadTargeting(t *testing.T) {
+	rng := sim.NewRNG(3)
+	cfg := PoissonConfig{
+		Hosts:    32,
+		HostLink: 10 * sim.Gbps,
+		Load:     0.5,
+		CDF:      WebSearch(),
+		Duration: 100 * sim.Millisecond,
+	}
+	arr := Poisson(cfg, rng)
+	if len(arr) == 0 {
+		t.Fatal("no arrivals")
+	}
+	var bytes float64
+	for _, a := range arr {
+		bytes += float64(a.Size)
+		if a.Src == a.Dst {
+			t.Fatal("self flow")
+		}
+		if a.Src < 0 || a.Src >= 32 || a.Dst < 0 || a.Dst >= 32 {
+			t.Fatal("host out of range")
+		}
+	}
+	offered := bytes * 8 / cfg.Duration.Seconds()
+	want := 0.5 * 32 * 1e10
+	if math.Abs(offered-want)/want > 0.2 {
+		t.Errorf("offered load = %.3g, want ~%.3g", offered, want)
+	}
+	// Arrivals are time-ordered.
+	for i := 1; i < len(arr); i++ {
+		if arr[i].At < arr[i-1].At {
+			t.Fatal("arrivals out of order")
+		}
+	}
+}
+
+func TestPoissonMaxFlows(t *testing.T) {
+	rng := sim.NewRNG(4)
+	cfg := PoissonConfig{
+		Hosts: 8, HostLink: 10 * sim.Gbps, Load: 0.9,
+		CDF: Enterprise(), Duration: sim.Second, MaxFlows: 100,
+	}
+	arr := Poisson(cfg, rng)
+	if len(arr) != 100 {
+		t.Errorf("got %d arrivals, want capped at 100", len(arr))
+	}
+}
+
+func TestPermutationIsOneToOne(t *testing.T) {
+	rng := sim.NewRNG(5)
+	pairs := Permutation(64, rng)
+	if len(pairs) != 32 {
+		t.Fatalf("%d pairs", len(pairs))
+	}
+	dsts := map[int]bool{}
+	for _, pr := range pairs {
+		if pr[0] < 0 || pr[0] >= 32 {
+			t.Errorf("sender %d out of first half", pr[0])
+		}
+		if pr[1] < 32 || pr[1] >= 64 {
+			t.Errorf("receiver %d out of second half", pr[1])
+		}
+		if dsts[pr[1]] {
+			t.Errorf("receiver %d reused", pr[1])
+		}
+		dsts[pr[1]] = true
+	}
+}
+
+func TestRandomPairsValid(t *testing.T) {
+	rng := sim.NewRNG(6)
+	pairs := RandomPairs(16, 1000, rng)
+	if len(pairs) != 1000 {
+		t.Fatal("wrong count")
+	}
+	for _, pr := range pairs {
+		if pr[0] == pr[1] {
+			t.Fatal("self pair")
+		}
+		if pr[0] < 0 || pr[0] >= 16 || pr[1] < 0 || pr[1] >= 16 {
+			t.Fatal("out of range")
+		}
+	}
+}
+
+func TestMeanReasonable(t *testing.T) {
+	// Web-search mean is ~1.6 MB with these anchors; enterprise mean
+	// is tens of KB.
+	ws := WebSearch().Mean()
+	if ws < 500<<10 || ws > 5<<20 {
+		t.Errorf("websearch mean = %.0f bytes", ws)
+	}
+	ent := Enterprise().Mean()
+	if ent < 2<<10 || ent > 200<<10 {
+		t.Errorf("enterprise mean = %.0f bytes", ent)
+	}
+}
