@@ -9,8 +9,10 @@ package numfabric
 
 import (
 	"testing"
+	"time"
 
 	"numfabric/internal/core"
+	"numfabric/internal/fluid"
 	"numfabric/internal/harness"
 	"numfabric/internal/oracle"
 	"numfabric/internal/sim"
@@ -341,4 +343,78 @@ func itoa(v int) string {
 		buf[i] = '-'
 	}
 	return string(buf[i:])
+}
+
+// --- Fluid engine benchmarks ---
+
+// engineBenchConfig is the shared scenario for the engine comparison:
+// a web-search Poisson workload on the scaled leaf-spine fabric.
+func engineBenchConfig(flows int) harness.DynamicConfig {
+	cfg := harness.DefaultDynamic(harness.NUMFabric, workload.WebSearch(), 0.4)
+	cfg.Flows = flows
+	cfg.SkipFluidIdeal = true
+	return cfg
+}
+
+// BenchmarkEngineFluidVsPacket runs the identical dynamic workload
+// through the packet-level simulator and the fluid engine and reports
+// flows simulated per wall-clock second for each — the headline
+// fast-path metric.
+func BenchmarkEngineFluidVsPacket(b *testing.B) {
+	b.Run("packet", func(b *testing.B) {
+		flows := 0
+		for i := 0; i < b.N; i++ {
+			res := harness.RunDynamic(engineBenchConfig(200))
+			flows += len(res.Records) + res.Unfinished
+		}
+		b.ReportMetric(float64(flows)/b.Elapsed().Seconds(), "flows/s")
+	})
+	b.Run("fluid", func(b *testing.B) {
+		flows := 0
+		for i := 0; i < b.N; i++ {
+			res := harness.RunDynamicFluid(engineBenchConfig(200))
+			flows += len(res.Records) + res.Unfinished
+		}
+		b.ReportMetric(float64(flows)/b.Elapsed().Seconds(), "flows/s")
+	})
+}
+
+// BenchmarkFluidFatTree simulates a 50k-flow web-search workload on a
+// k=8 fat-tree (128 hosts, 768 directed links) under fluid xWI
+// dynamics — a regime the packet engine cannot reach — and reports
+// flows/s plus the speedup over the packet engine's extrapolated rate
+// (the packet engine's cost is at best linear in flow count, so its
+// small-scale flows/s is an upper bound on its large-scale rate).
+func BenchmarkFluidFatTree(b *testing.B) {
+	pktStart := time.Now()
+	pktRes := harness.RunDynamic(engineBenchConfig(200))
+	pktRate := float64(len(pktRes.Records)+pktRes.Unfinished) / time.Since(pktStart).Seconds()
+
+	const nflows = 50000
+	b.ResetTimer()
+	done := 0
+	for i := 0; i < b.N; i++ {
+		ft := fluid.NewFatTree(8, 10e9)
+		rng := sim.NewRNG(uint64(i) + 1)
+		arrivals := workload.Poisson(workload.PoissonConfig{
+			Hosts:    ft.Hosts(),
+			HostLink: 10 * sim.Gbps,
+			Load:     0.5,
+			CDF:      workload.WebSearch(),
+			Duration: sim.Duration(sim.Forever / 2),
+			MaxFlows: nflows,
+		}, rng)
+		eng := fluid.NewEngine(ft.Net, fluid.Config{Allocator: fluid.NewXWI()})
+		var last sim.Time
+		for _, a := range arrivals {
+			last = a.At
+			path := ft.Route(a.Src, a.Dst, rng.Intn(16))
+			eng.AddFlow(path, core.ProportionalFair(), a.Size, a.At.Seconds())
+		}
+		eng.Run(last.Seconds() + 1.0)
+		done += len(eng.Finished())
+	}
+	fluidRate := float64(done) / b.Elapsed().Seconds()
+	b.ReportMetric(fluidRate, "flows/s")
+	b.ReportMetric(fluidRate/pktRate, "speedup-vs-packet")
 }

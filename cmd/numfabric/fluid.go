@@ -1,0 +1,118 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"numfabric/internal/core"
+	"numfabric/internal/fluid"
+	"numfabric/internal/harness"
+	"numfabric/internal/sim"
+	"numfabric/internal/stats"
+	"numfabric/internal/trace"
+	"numfabric/internal/workload"
+)
+
+// runFatTree is the large-scale fluid-only experiment: a k-ary
+// fat-tree (k=8, 128 hosts; -scale full: k=16, 1024 hosts) serving a
+// web-search Poisson workload of ≥50k flows under xWI dynamics — a
+// regime the packet engine cannot reach (extrapolated runtime: hours).
+func runFatTree(full bool, seed uint64) {
+	k, nflows := 8, 50000
+	if full {
+		k, nflows = 16, 200000
+	}
+	const linkRate = 10e9
+	ft := fluid.NewFatTree(k, linkRate)
+	rng := sim.NewRNG(seed)
+	fmt.Printf("k=%d fat-tree: %d hosts, %d directed links, %d flows (websearch, load 0.5)\n",
+		k, ft.Hosts(), ft.Net.Links(), nflows)
+
+	arrivals := workload.Poisson(workload.PoissonConfig{
+		Hosts:    ft.Hosts(),
+		HostLink: sim.BitRate(linkRate),
+		Load:     0.5,
+		CDF:      workload.WebSearch(),
+		Duration: sim.Duration(sim.Forever / 2),
+		MaxFlows: nflows,
+	}, rng)
+
+	// FCT-oriented scale run: xWI dynamics on the default 100 µs epoch
+	// (convergence experiments use the scheme's 30 µs price cadence;
+	// here the coarser epoch costs nothing measurable in FCT accuracy
+	// and triples throughput).
+	cfg := harness.DefaultConfig(harness.NUMFabric, harness.ScaledTopology())
+	eng := fluid.NewEngine(ft.Net, fluid.Config{
+		Allocator: harness.FluidAllocatorFor(cfg),
+	})
+	flows := make([]*fluid.Flow, len(arrivals))
+	var last sim.Time
+	for i, a := range arrivals {
+		last = a.At
+		path := ft.Route(a.Src, a.Dst, rng.Intn(k*k/4))
+		flows[i] = eng.AddFlow(path, core.ProportionalFair(), a.Size, a.At.Seconds())
+	}
+
+	wall := time.Now()
+	eng.Run(last.Seconds() + 1.0)
+	elapsed := time.Since(wall)
+
+	var fcts []float64
+	unfinished := 0
+	tab := trace.NewTable("size_bytes", "fct_s")
+	for _, f := range flows {
+		if !f.Done() {
+			unfinished++
+			continue
+		}
+		fcts = append(fcts, f.FCT())
+		_ = tab.Append(float64(f.SizeBytes), f.FCT())
+	}
+	sum := stats.Summarize(fcts)
+	fmt.Printf("finished %d/%d flows (%d unfinished) in %v wall-clock (%.0f flows/s)\n",
+		len(fcts), len(flows), unfinished, elapsed.Round(time.Millisecond),
+		float64(len(fcts))/elapsed.Seconds())
+	fmt.Printf("FCT: mean=%.3fms median=%.3fms p95=%.3fms p99=%.3fms max=%.3fms\n",
+		sum.Mean*1e3, sum.Median*1e3, sum.P95*1e3, sum.P99*1e3, sum.Max*1e3)
+	writeCSV("fattree_fct.csv", tab)
+}
+
+// runFluidSweep fans independent seeds of the fluid semi-dynamic
+// convergence experiment across goroutines (fluid.Sweep): a multi-seed
+// Figure-4a at fluid speed, with deterministic per-shard RNG so the
+// parallel run reproduces a serial one exactly.
+func runFluidSweep(full bool, seed uint64) {
+	shards := 8
+	if full {
+		shards = 16
+	}
+	type shardResult struct {
+		seed   uint64
+		median float64
+		p95    float64
+		unconv int
+	}
+	wall := time.Now()
+	results := fluid.Sweep(fluid.SweepOptions{Seed: seed}, shards,
+		func(shard int, rng *sim.RNG) shardResult {
+			cfg := harness.DefaultSemiDynamic(harness.NUMFabric)
+			cfg.Seed = rng.Uint64()
+			res := harness.RunSemiDynamicFluid(cfg)
+			return shardResult{cfg.Seed, res.Median(), res.P95(), res.Unconverged}
+		})
+	elapsed := time.Since(wall)
+
+	fmt.Printf("fluid convergence sweep, %d seeds in parallel (%v wall-clock):\n",
+		shards, elapsed.Round(time.Millisecond))
+	fmt.Printf("%-6s %-20s %10s %10s %12s\n", "shard", "seed", "median_ms", "p95_ms", "unconverged")
+	var medians []float64
+	tab := trace.NewTable("shard", "median_s", "p95_s", "unconverged")
+	for i, r := range results {
+		fmt.Printf("%-6d %-20d %10.3f %10.3f %12d\n", i, r.seed, r.median*1e3, r.p95*1e3, r.unconv)
+		medians = append(medians, r.median)
+		_ = tab.Append(float64(i), r.median, r.p95, float64(r.unconv))
+	}
+	fmt.Printf("across seeds: median-of-medians=%.3fms spread=[%.3f, %.3f]ms\n",
+		stats.Median(medians)*1e3, stats.Percentile(medians, 0)*1e3, stats.Percentile(medians, 1)*1e3)
+	writeCSV("fluidsweep.csv", tab)
+}

@@ -3,10 +3,20 @@
 //
 // Usage:
 //
-//	numfabric -experiment fig4a [-scale full] [-seed 1]
+//	numfabric -experiment fig4a [-scale full] [-seed 1] [-engine fluid]
 //
 // Experiments: table1, table2, fig2, fig4a, fig4bc, fig5a, fig5b,
-// fig6a, fig6b, fig6c, fig7, fig8, fig9, fig10, all.
+// fig6a, fig6b, fig6c, fig7, fig8, fig9, fig10, fattree, fluidsweep,
+// all.
+//
+// -engine selects the execution engine for the convergence (fig4a)
+// and dynamic-workload (fig5a/fig5b) experiments: "packet" is the
+// faithful packet-level discrete-event simulator; "fluid" runs the
+// same scenarios on the flow-granularity fluid engine
+// (internal/fluid), orders of magnitude faster. The fattree experiment
+// (a k=8 fat-tree serving ≥50k flows) and the fluidsweep experiment (a
+// multi-seed convergence sweep fanned across goroutines) are
+// fluid-only: they run regimes the packet engine cannot reach.
 package main
 
 import (
@@ -28,6 +38,9 @@ import (
 // each figure.
 var outDir string
 
+// engine is the execution engine selected via -engine.
+var engine harness.Engine
+
 // writeCSV writes a table into outDir (no-op when -out is unset).
 func writeCSV(name string, t *trace.Table) {
 	if outDir == "" {
@@ -48,12 +61,18 @@ func writeCSV(name string, t *trace.Table) {
 }
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment id (table1, table2, fig2, fig4a, fig4bc, fig5a, fig5b, fig6a, fig6b, fig6c, fig7, fig8, fig9, fig10, all)")
+	exp := flag.String("experiment", "all", "experiment id (table1, table2, fig2, fig4a, fig4bc, fig5a, fig5b, fig6a, fig6b, fig6c, fig7, fig8, fig9, fig10, fattree, fluidsweep, all)")
 	scale := flag.String("scale", "scaled", "\"scaled\" (32 hosts, fast) or \"full\" (paper scale, slow)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	out := flag.String("out", "", "directory for CSV output (optional)")
+	eng := flag.String("engine", "packet", "\"packet\" (discrete-event simulator) or \"fluid\" (flow-level fast path) for fig4a/fig5a/fig5b")
 	flag.Parse()
 	outDir = *out
+	var err error
+	if engine, err = harness.ParseEngine(*eng); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 	if outDir != "" {
 		if err := os.MkdirAll(outDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -72,7 +91,8 @@ func main() {
 	known := map[string]bool{"table1": true, "table2": true, "fig2": true,
 		"fig4a": true, "fig4bc": true, "fig5a": true, "fig5b": true,
 		"fig6a": true, "fig6b": true, "fig6c": true, "fig7": true,
-		"fig8": true, "fig9": true, "fig10": true, "all": true}
+		"fig8": true, "fig9": true, "fig10": true, "fattree": true,
+		"fluidsweep": true, "all": true}
 	if !known[*exp] {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -92,6 +112,8 @@ func main() {
 	run("fig8", runFig8)
 	run("fig9", runFig9)
 	run("fig10", runFig10)
+	run("fattree", runFatTree)
+	run("fluidsweep", runFluidSweep)
 }
 
 func semiCfg(s harness.Scheme, full bool, seed uint64) harness.SemiDynamicConfig {
@@ -157,7 +179,7 @@ func runFig2(full bool, seed uint64) {
 }
 
 func runFig4a(full bool, seed uint64) {
-	fmt.Println("Convergence-time CDF (Figure 4a); times in ms:")
+	fmt.Printf("Convergence-time CDF (Figure 4a, %s engine); times in ms:\n", engine)
 	fmt.Printf("%-10s %8s %8s %8s %12s\n", "scheme", "median", "p95", "max", "unconverged")
 	type row struct {
 		name string
@@ -165,7 +187,7 @@ func runFig4a(full bool, seed uint64) {
 	}
 	var rows []row
 	for _, s := range []harness.Scheme{harness.NUMFabric, harness.DGD, harness.RCP} {
-		res := harness.RunSemiDynamic(semiCfg(s, full, seed))
+		res := harness.RunSemiDynamicWith(engine, semiCfg(s, full, seed))
 		rows = append(rows, row{s.String(), res})
 		ct := res.ConvergenceTimes
 		sort.Float64s(ct)
@@ -217,7 +239,7 @@ func runFig4bc(full bool, seed uint64) {
 }
 
 func runFig5(full bool, seed uint64, cdf *workload.SizeCDF) {
-	fmt.Printf("Normalized rate deviation from Oracle by flow size (Figure 5, %s):\n", cdf.Name())
+	fmt.Printf("Normalized rate deviation from Oracle by flow size (Figure 5, %s, %s engine):\n", cdf.Name(), engine)
 	flows := 400
 	if full {
 		flows = 2000
@@ -230,7 +252,7 @@ func runFig5(full bool, seed uint64, cdf *workload.SizeCDF) {
 			cfg.Topo = harness.PaperTopology()
 			cfg.Scheme = harness.DefaultConfig(s, cfg.Topo)
 		}
-		res := harness.RunDynamic(cfg)
+		res := harness.RunDynamicWith(engine, cfg)
 		fmt.Printf("\n%s (%d finished, %d unfinished):\n", s, len(res.Records), res.Unfinished)
 		bins := res.DeviationByBin()
 		for _, b := range harness.Fig5Bins {

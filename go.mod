@@ -1,0 +1,3 @@
+module numfabric
+
+go 1.24

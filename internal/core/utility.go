@@ -73,6 +73,11 @@ func (u AlphaFair) Value(x float64) float64 {
 // Marginal returns U'(x) = (w/x)^α.
 func (u AlphaFair) Marginal(x float64) float64 {
 	x = math.Max(x, minRate)
+	if u.isLog() {
+		// α=1 fast path: w/x, avoiding math.Pow on the hot paths (the
+		// fluid allocators evaluate marginals per flow per epoch).
+		return u.weight() / x
+	}
 	return math.Pow(u.weight()/x, u.Alpha)
 }
 
@@ -80,6 +85,9 @@ func (u AlphaFair) Marginal(x float64) float64 {
 func (u AlphaFair) InverseMarginal(p float64) float64 {
 	if p <= 0 {
 		return math.Inf(1)
+	}
+	if u.isLog() {
+		return u.weight() / p
 	}
 	return u.weight() * math.Pow(p, -1/u.Alpha)
 }

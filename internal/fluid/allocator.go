@@ -1,0 +1,400 @@
+package fluid
+
+import (
+	"math"
+
+	"numfabric/internal/core"
+	"numfabric/internal/oracle"
+)
+
+// Allocator computes a rate allocation for the active flows once per
+// epoch. Implementations may keep state between calls (the XWI and DGD
+// allocators carry per-link prices, which is what lets them model
+// convergence dynamics over simulated time and warm-start across
+// arrivals and departures). rates has one entry per flow, in flow
+// order; implementations must fill every entry.
+type Allocator interface {
+	Allocate(net *Network, flows []*Flow, rates []float64)
+	// Reset discards internal state (prices); the next Allocate starts
+	// cold, as after a topology change.
+	Reset()
+}
+
+// scratch holds the per-call path/weight views shared by allocators.
+type scratch struct {
+	paths   [][]int
+	weights []float64
+}
+
+func (s *scratch) resize(n int) {
+	if cap(s.paths) < n {
+		s.paths = make([][]int, n)
+		s.weights = make([]float64, n)
+	}
+	s.paths = s.paths[:n]
+	s.weights = s.weights[:n]
+}
+
+// WaterFill is the instantaneous weighted max-min allocator: every
+// epoch the rates jump straight to the exact water-filling allocation
+// (Eq. 8) for the flows' static weights, via the oracle's progressive
+// filling. It models a fabric whose transport converges instantly —
+// the Swift layer with fixed weights — and is the fastest allocator.
+type WaterFill struct {
+	s  scratch
+	ws oracle.MaxMinWorkspace
+}
+
+// NewWaterFill returns a WaterFill allocator.
+func NewWaterFill() *WaterFill { return &WaterFill{} }
+
+// Allocate computes the weighted max-min allocation.
+func (w *WaterFill) Allocate(net *Network, flows []*Flow, rates []float64) {
+	w.s.resize(len(flows))
+	for i, f := range flows {
+		w.s.paths[i] = f.Links
+		w.s.weights[i] = f.Weight
+		if w.s.weights[i] <= 0 {
+			w.s.weights[i] = 1
+		}
+	}
+	w.ws.WeightedMaxMin(net.Capacity, w.s.paths, w.s.weights, rates)
+}
+
+// Reset is a no-op: WaterFill is stateless.
+func (w *WaterFill) Reset() {}
+
+// Stationary reports that the allocation depends only on the active
+// flow set, so the engine may cache it across unchanged epochs.
+func (w *WaterFill) Stationary() bool { return true }
+
+// XWI runs the paper's explicit weight-inference dynamics (§4.2) at
+// fluid granularity: per epoch it performs IterPerEpoch rounds of
+//
+//	weights = U'⁻¹(path price)   (Eq. 7)
+//	x       = weighted max-min    (Eq. 8, exact water-filling)
+//	price  += residual − η(1−u)p  (Eqs. 9–11, β-averaged)
+//
+// holding per-link prices across epochs. With IterPerEpoch = 1 the
+// simulated-time convergence mirrors the packet transport's (one price
+// update per PriceUpdateInterval); larger values trade fidelity of the
+// transient for faster convergence per epoch. The steady state is the
+// NUM optimum (the paper's Theorem 1: the fixed point of these
+// dynamics solves the NUM problem).
+type XWI struct {
+	// Eta is the underutilization gain η (Eq. 10; default 5).
+	Eta float64
+	// Beta is the price-averaging factor β (Eq. 11; default 0.5).
+	Beta float64
+	// IterPerEpoch is how many price iterations run per epoch
+	// (default 1).
+	IterPerEpoch int
+
+	price []float64
+	s     scratch
+	ws    oracle.MaxMinWorkspace
+	x     []float64
+	load  []float64
+	res   []float64
+	has   []bool
+}
+
+// NewXWI returns an XWI allocator with Table 2 defaults.
+func NewXWI() *XWI { return &XWI{Eta: 5, Beta: 0.5, IterPerEpoch: 1} }
+
+func (a *XWI) defaults() (eta, beta float64, iters int) {
+	eta, beta, iters = a.Eta, a.Beta, a.IterPerEpoch
+	if eta <= 0 {
+		eta = 5
+	}
+	if beta <= 0 || beta >= 1 {
+		beta = 0.5
+	}
+	if iters <= 0 {
+		iters = 1
+	}
+	return eta, beta, iters
+}
+
+// Reset discards the link prices.
+func (a *XWI) Reset() { a.price = nil }
+
+// Allocate advances the xWI dynamics by IterPerEpoch price updates and
+// returns the latest water-filling allocation.
+func (a *XWI) Allocate(net *Network, flows []*Flow, rates []float64) {
+	eta, beta, iters := a.defaults()
+	nf, nl := len(flows), net.Links()
+	a.s.resize(nf)
+	paths, weights := a.s.paths, a.s.weights
+	for i, f := range flows {
+		paths[i] = f.Links
+	}
+
+	maxCap := 0.0
+	for _, c := range net.Capacity {
+		maxCap = math.Max(maxCap, c)
+	}
+	wMin, wMax := 1e-3, 100*maxCap
+
+	if len(a.price) != nl {
+		a.price = initPrices(net, flows)
+	}
+	price := a.price
+
+	pathPrice := func(i int) float64 {
+		sum := 0.0
+		for _, l := range paths[i] {
+			sum += price[l]
+		}
+		return sum
+	}
+
+	if cap(a.load) < nl {
+		a.load = make([]float64, nl)
+		a.res = make([]float64, nl)
+		a.has = make([]bool, nl)
+	}
+	load, minRes, hasFlow := a.load[:nl], a.res[:nl], a.has[:nl]
+	var x []float64
+	for it := 0; it < iters; it++ {
+		for i, f := range flows {
+			weights[i] = clamp(f.U.InverseMarginal(pathPrice(i)), wMin, wMax)
+		}
+		x = a.ws.WeightedMaxMin(net.Capacity, paths, weights, a.x)
+		a.x = x
+
+		for l := 0; l < nl; l++ {
+			load[l], hasFlow[l] = 0, false
+			minRes[l] = math.Inf(1)
+		}
+		for i, f := range flows {
+			rate := x[i]
+			marg := f.U.Marginal(math.Max(rate, 1))
+			res := (marg - pathPrice(i)) / float64(len(paths[i]))
+			for _, l := range paths[i] {
+				load[l] += rate
+				if res < minRes[l] {
+					minRes[l] = res
+				}
+				hasFlow[l] = true
+			}
+		}
+		for l := 0; l < nl; l++ {
+			if !hasFlow[l] {
+				price[l] *= beta
+				continue
+			}
+			pres := price[l] + minRes[l]
+			u := load[l] / net.Capacity[l]
+			pnew := pres - eta*(1-u)*price[l]
+			if pnew < 0 {
+				pnew = 0
+			}
+			price[l] = beta*price[l] + (1-beta)*pnew
+		}
+	}
+	copy(rates, x)
+}
+
+// Oracle jumps straight to the NUM-optimal allocation every epoch by
+// running the fluid xWI solver (oracle.Solve) to convergence,
+// warm-starting link prices across epochs. It models an idealized
+// transport with instantaneous convergence — the paper's Oracle — and
+// is the fluid analog of schemes like RCP* that are engineered to
+// realize the α-fair optimum directly.
+type Oracle struct {
+	// MaxIter bounds the solver per epoch (default 2000; warm starts
+	// keep the realized count far lower).
+	MaxIter int
+
+	prices []float64
+}
+
+// NewOracle returns an Oracle allocator.
+func NewOracle() *Oracle { return &Oracle{} }
+
+// Reset discards the warm-start prices.
+func (o *Oracle) Reset() { o.prices = nil }
+
+// Stationary reports that the optimum is a pure function of the
+// active flow set.
+func (o *Oracle) Stationary() bool { return true }
+
+// Allocate solves the NUM problem for the current flow set.
+func (o *Oracle) Allocate(net *Network, flows []*Flow, rates []float64) {
+	maxIter := o.MaxIter
+	if maxIter <= 0 {
+		maxIter = 2000
+	}
+	p := core.NewProblem(net.Capacity)
+	for _, f := range flows {
+		p.AddFlow(f.Links, f.U)
+	}
+	res := oracle.Solve(p, oracle.SolveOptions{
+		MaxIter: maxIter, Tol: 1e-7, InitPrices: o.prices,
+	})
+	o.prices = res.Prices
+	copy(rates, res.Rates)
+}
+
+// DGD runs the Low–Lapsley dual-gradient dynamics (§3, Eqs. 3–4) at
+// fluid granularity, IterPerEpoch gradient steps per epoch:
+//
+//	x_i = U'⁻¹(Σ prices on path)
+//	p_l = [p_l + γ·(load_l − c_l)]₊
+//
+// Because raw DGD rates can transiently overload links (the packet
+// system absorbs this in queues; a fluid network has none), the
+// returned allocation is projected onto the capacity region by
+// uniformly scaling flows through overloaded links. The price dynamics
+// themselves use the unprojected rates, exactly as in the algorithm.
+type DGD struct {
+	// Gamma is the step size per unit of the largest link capacity
+	// (default 0.2, matching oracle.DGDOptions).
+	Gamma float64
+	// IterPerEpoch is how many gradient steps run per epoch
+	// (default 1). DGD needs far more iterations than xWI — that
+	// slowness is the paper's point.
+	IterPerEpoch int
+
+	price []float64
+	x     []float64
+	load  []float64
+}
+
+// NewDGD returns a DGD allocator with defaults.
+func NewDGD() *DGD { return &DGD{Gamma: 0.2, IterPerEpoch: 1} }
+
+// Reset discards the link prices.
+func (a *DGD) Reset() { a.price = nil }
+
+// Allocate advances the DGD dynamics and returns the (feasibility-
+// projected) rates.
+func (a *DGD) Allocate(net *Network, flows []*Flow, rates []float64) {
+	gamma, iters := a.Gamma, a.IterPerEpoch
+	if gamma <= 0 {
+		gamma = 0.2
+	}
+	if iters <= 0 {
+		iters = 1
+	}
+	nf, nl := len(flows), net.Links()
+	maxCap := 0.0
+	for _, c := range net.Capacity {
+		maxCap = math.Max(maxCap, c)
+	}
+	if len(a.price) != nl {
+		a.price = initPrices(net, flows)
+	}
+	price := a.price
+	if cap(a.x) < nf {
+		a.x = make([]float64, nf)
+	}
+	x := a.x[:nf]
+
+	// Scale the step so prices move by O(γ × typical marginal) per
+	// iteration, as in oracle.SolveDGD.
+	pScale := 1.0
+	if nf > 0 {
+		pScale = flows[0].U.Marginal(maxCap / float64(nf))
+	}
+	step := gamma * pScale / maxCap
+	xCap := 10 * maxCap
+
+	if cap(a.load) < nl {
+		a.load = make([]float64, nl)
+	}
+	load := a.load[:nl]
+	for it := 0; it < iters; it++ {
+		for i, f := range flows {
+			sum := 0.0
+			for _, l := range f.Links {
+				sum += price[l]
+			}
+			x[i] = math.Min(f.U.InverseMarginal(sum), xCap)
+		}
+		for l := range load {
+			load[l] = 0
+		}
+		for i, f := range flows {
+			for _, l := range f.Links {
+				load[l] += x[i]
+			}
+		}
+		for l := 0; l < nl; l++ {
+			price[l] += step * (load[l] - net.Capacity[l])
+			if price[l] < 0 {
+				price[l] = 0
+			}
+		}
+	}
+	copy(rates, x)
+	// load still holds the final iteration's per-link loads of x,
+	// which rates now equals — reuse it for the projection.
+	projectFeasible(net, flows, rates, load)
+}
+
+// projectFeasible scales rates down so no link exceeds capacity: each
+// flow is multiplied by the smallest cap/load ratio along its path.
+// load must hold the per-link loads induced by rates.
+func projectFeasible(net *Network, flows []*Flow, rates []float64, load []float64) {
+	for i, f := range flows {
+		scale := 1.0
+		for _, l := range f.Links {
+			if load[l] > net.Capacity[l] {
+				if s := net.Capacity[l] / load[l]; s < scale {
+					scale = s
+				}
+			}
+		}
+		rates[i] *= scale
+	}
+}
+
+// initPrices seeds per-link prices the way oracle.Solve does: inverse
+// flow counts, scaled so a representative flow's weight lands near its
+// fair share.
+func initPrices(net *Network, flows []*Flow) []float64 {
+	nl := net.Links()
+	price := make([]float64, nl)
+	cnt := make([]int, nl)
+	for _, f := range flows {
+		for _, l := range f.Links {
+			cnt[l]++
+		}
+	}
+	for l := range price {
+		n := cnt[l]
+		if n == 0 {
+			n = 1
+		}
+		price[l] = 1.0 / float64(n)
+	}
+	if len(flows) > 0 {
+		f0 := flows[0]
+		l0 := f0.Links[0]
+		fair := net.Capacity[l0] / math.Max(1, float64(cnt[l0]))
+		target := f0.U.Marginal(fair)
+		sum := 0.0
+		for _, l := range f0.Links {
+			sum += price[l]
+		}
+		if sum > 0 && target > 0 {
+			scale := target / sum
+			for l := range price {
+				price[l] *= scale
+			}
+		}
+	}
+	return price
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

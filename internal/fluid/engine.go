@@ -1,0 +1,224 @@
+package fluid
+
+import (
+	"math"
+	"sort"
+
+	"numfabric/internal/core"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Epoch is the allocation period in seconds (default 100 µs —
+	// about the packet transport's price-update cadence).
+	Epoch float64
+	// Allocator computes per-epoch rates (default NewXWI()).
+	Allocator Allocator
+}
+
+func (c Config) withDefaults() Config {
+	if c.Epoch <= 0 {
+		c.Epoch = 100e-6
+	}
+	if c.Allocator == nil {
+		c.Allocator = NewXWI()
+	}
+	return c
+}
+
+// Engine advances a fluid network in fixed epochs. Each Step admits
+// due arrivals, asks the Allocator for rates, and drains every active
+// flow for one epoch; finite flows that empty mid-epoch get their
+// Finish stamped at the exact sub-epoch completion time (rates are
+// held constant within an epoch).
+type Engine struct {
+	net *Network
+	cfg Config
+
+	now      float64
+	pending  []*Flow // future arrivals
+	unsorted bool
+	active   []*Flow
+	finished []*Flow
+	rates    []float64
+	nextID   int
+	// changed tracks whether the active set was modified since the
+	// last allocation; stationary allocators skip recomputation while
+	// it is false.
+	changed    bool
+	stationary bool
+
+	epochFns []func(now float64, active []*Flow)
+}
+
+// StationaryAllocator is an optional Allocator refinement: a true
+// Stationary() declares the allocation a pure function of the active
+// flow set (no internal dynamics), letting the engine skip
+// recomputation on epochs where no flow arrived or departed.
+// WaterFill is stationary; XWI and DGD are not (their prices move
+// every epoch).
+type StationaryAllocator interface {
+	Allocator
+	Stationary() bool
+}
+
+// NewEngine returns an engine over net.
+func NewEngine(net *Network, cfg Config) *Engine {
+	e := &Engine{net: net, cfg: cfg.withDefaults()}
+	if s, ok := e.cfg.Allocator.(StationaryAllocator); ok {
+		e.stationary = s.Stationary()
+	}
+	return e
+}
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Net returns the engine's network.
+func (e *Engine) Net() *Network { return e.net }
+
+// Epoch returns the epoch duration in seconds.
+func (e *Engine) Epoch() float64 { return e.cfg.Epoch }
+
+// Active returns the live view of active flows; valid until the next
+// Step.
+func (e *Engine) Active() []*Flow { return e.active }
+
+// Finished returns every completed flow, in completion order.
+func (e *Engine) Finished() []*Flow { return e.finished }
+
+// OnEpoch registers a callback invoked after every epoch's drain with
+// the new time and the active flow set — the hook the trace/stats
+// recorders sample from.
+func (e *Engine) OnEpoch(fn func(now float64, active []*Flow)) {
+	e.epochFns = append(e.epochFns, fn)
+}
+
+// AddFlow schedules a flow over links, arriving at time at (seconds;
+// at ≤ Now admits it on the next Step), with utility u and payload
+// sizeBytes (0 = unbounded). It returns the Flow for inspection.
+func (e *Engine) AddFlow(links []int, u core.Utility, sizeBytes int64, at float64) *Flow {
+	f := &Flow{
+		ID:        e.nextID,
+		Links:     append([]int(nil), links...),
+		U:         u,
+		Weight:    1,
+		SizeBytes: sizeBytes,
+		Arrive:    at,
+		Remaining: float64(sizeBytes),
+		Finish:    math.NaN(),
+		pos:       -1,
+	}
+	e.nextID++
+	e.pending = append(e.pending, f)
+	e.unsorted = true
+	return f
+}
+
+// Stop removes an active flow immediately (for unbounded flows driven
+// by an external event script); its Finish stays NaN.
+func (e *Engine) Stop(f *Flow) {
+	if f.pos < 0 {
+		return
+	}
+	e.removeActive(f)
+	f.Rate = 0
+}
+
+func (e *Engine) removeActive(f *Flow) {
+	i := f.pos
+	last := len(e.active) - 1
+	e.active[i] = e.active[last]
+	e.active[i].pos = i
+	e.active = e.active[:last]
+	f.pos = -1
+	e.changed = true
+}
+
+func (e *Engine) admitDue() {
+	if e.unsorted {
+		sort.SliceStable(e.pending, func(i, j int) bool { return e.pending[i].Arrive < e.pending[j].Arrive })
+		e.unsorted = false
+	}
+	n := 0
+	for n < len(e.pending) && e.pending[n].Arrive <= e.now {
+		f := e.pending[n]
+		f.pos = len(e.active)
+		e.active = append(e.active, f)
+		n++
+	}
+	if n > 0 {
+		e.changed = true
+	}
+	e.pending = e.pending[n:]
+}
+
+// Step advances one epoch. It reports whether any work remains
+// (pending or active flows).
+func (e *Engine) Step() bool {
+	e.admitDue()
+	if len(e.active) == 0 && len(e.pending) == 0 {
+		return false
+	}
+	dt := e.cfg.Epoch
+	if len(e.active) > 0 {
+		if e.changed || !e.stationary {
+			if cap(e.rates) < len(e.active) {
+				e.rates = make([]float64, 2*len(e.active))
+			}
+			rates := e.rates[:len(e.active)]
+			e.cfg.Allocator.Allocate(e.net, e.active, rates)
+			for i, f := range e.active {
+				f.Rate = rates[i]
+			}
+			e.changed = false
+		}
+		// Drain; stamp sub-epoch completions.
+		firstDone := len(e.finished)
+		for i := 0; i < len(e.active); {
+			f := e.active[i]
+			if f.SizeBytes == 0 || f.Rate <= 0 {
+				i++
+				continue
+			}
+			drain := f.Rate / 8 * dt
+			if drain < f.Remaining {
+				f.Remaining -= drain
+				i++
+				continue
+			}
+			f.Finish = e.now + f.Remaining*8/f.Rate
+			f.Remaining = 0
+			e.removeActive(f)
+			e.finished = append(e.finished, f)
+			// removeActive moved another flow into slot i; revisit it.
+		}
+		// The scan discovers same-epoch completions in slice order;
+		// restore completion order within the epoch's batch.
+		if batch := e.finished[firstDone:]; len(batch) > 1 {
+			sort.SliceStable(batch, func(i, j int) bool { return batch[i].Finish < batch[j].Finish })
+		}
+	} else {
+		// Idle gap: jump straight to the next arrival's epoch.
+		gap := e.pending[0].Arrive - e.now
+		if steps := math.Floor(gap / dt); steps > 1 {
+			e.now += (steps - 1) * dt
+		}
+	}
+	e.now += dt
+	for _, fn := range e.epochFns {
+		fn(e.now, e.active)
+	}
+	return len(e.active) > 0 || len(e.pending) > 0
+}
+
+// Run advances epochs until no work remains or time reaches until
+// (seconds; math.Inf(1) runs to completion — never terminates if an
+// unbounded flow is active).
+func (e *Engine) Run(until float64) {
+	for e.now < until {
+		if !e.Step() {
+			return
+		}
+	}
+}

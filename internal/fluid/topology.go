@@ -1,0 +1,127 @@
+package fluid
+
+import "fmt"
+
+// FatTree is a k-ary fat-tree (Al-Fares et al.): k pods of k/2 edge
+// and k/2 aggregation switches, (k/2)² core switches, and k³/4 hosts,
+// with full bisection bandwidth at a uniform link rate. It exists only
+// in fluid form — the packet path's leaf-spine cannot reach this
+// scale — and exposes routes as directed-link index paths for the
+// fluid engine.
+type FatTree struct {
+	K    int
+	Rate float64 // bits/second, every link
+	Net  *Network
+
+	// Directed-link IDs. half = k/2; hosts are numbered
+	// pod·half² + edge·half + i.
+	hostUp   []int     // host → edge
+	hostDown []int     // edge → host
+	edgeUp   [][][]int // [pod][edge][agg]: edge → agg
+	edgeDown [][][]int // [pod][agg][edge]: agg → edge
+	aggUp    [][][]int // [pod][agg][ci]:  agg → core a·half+ci
+	aggDown  [][][]int // [pod][agg][ci]:  core a·half+ci → agg
+}
+
+// NewFatTree builds a k-ary fat-tree (k even, k ≥ 2) with every link
+// at rate bits/second.
+func NewFatTree(k int, rate float64) *FatTree {
+	if k < 2 || k%2 != 0 {
+		panic(fmt.Sprintf("fluid: fat-tree k must be even and ≥ 2, got %d", k))
+	}
+	half := k / 2
+	t := &FatTree{K: k, Rate: rate}
+	var capacity []float64
+	link := func() int {
+		capacity = append(capacity, rate)
+		return len(capacity) - 1
+	}
+
+	hosts := k * half * half
+	t.hostUp = make([]int, hosts)
+	t.hostDown = make([]int, hosts)
+	t.edgeUp = make([][][]int, k)
+	t.edgeDown = make([][][]int, k)
+	t.aggUp = make([][][]int, k)
+	t.aggDown = make([][][]int, k)
+	for p := 0; p < k; p++ {
+		t.edgeUp[p] = make([][]int, half)
+		t.edgeDown[p] = make([][]int, half)
+		t.aggUp[p] = make([][]int, half)
+		t.aggDown[p] = make([][]int, half)
+		for e := 0; e < half; e++ {
+			for i := 0; i < half; i++ {
+				h := p*half*half + e*half + i
+				t.hostUp[h] = link()
+				t.hostDown[h] = link()
+			}
+			t.edgeUp[p][e] = make([]int, half)
+			for a := 0; a < half; a++ {
+				t.edgeUp[p][e][a] = link()
+			}
+		}
+		for a := 0; a < half; a++ {
+			t.edgeDown[p][a] = make([]int, half)
+			for e := 0; e < half; e++ {
+				t.edgeDown[p][a][e] = link()
+			}
+			// Aggregation switch a connects to cores a·half … a·half+half−1.
+			t.aggUp[p][a] = make([]int, half)
+			t.aggDown[p][a] = make([]int, half)
+			for c := 0; c < half; c++ {
+				t.aggUp[p][a][c] = link()
+				t.aggDown[p][a][c] = link()
+			}
+		}
+	}
+	t.Net = NewNetwork(capacity)
+	return t
+}
+
+// Hosts returns the host count k³/4.
+func (t *FatTree) Hosts() int { return t.K * t.K * t.K / 4 }
+
+func (t *FatTree) locate(h int) (pod, edge int) {
+	half := t.K / 2
+	return h / (half * half), (h / half) % half
+}
+
+// Route returns the directed-link path from host src to host dst.
+// pathChoice selects among the equal-cost paths (agg and core picks),
+// like the spine argument of the leaf-spine topology; any non-negative
+// value is valid.
+func (t *FatTree) Route(src, dst, pathChoice int) []int {
+	if src == dst {
+		panic("fluid: fat-tree flow to self")
+	}
+	half := t.K / 2
+	sp, se := t.locate(src)
+	dp, de := t.locate(dst)
+	if sp == dp && se == de {
+		return []int{t.hostUp[src], t.hostDown[dst]}
+	}
+	a := pathChoice % half
+	if a < 0 {
+		a = -a
+	}
+	if sp == dp {
+		return []int{
+			t.hostUp[src],
+			t.edgeUp[sp][se][a],
+			t.edgeDown[sp][a][de],
+			t.hostDown[dst],
+		}
+	}
+	c := (pathChoice / half) % half
+	if c < 0 {
+		c = -c
+	}
+	return []int{
+		t.hostUp[src],
+		t.edgeUp[sp][se][a],
+		t.aggUp[sp][a][c],
+		t.aggDown[dp][a][c],
+		t.edgeDown[dp][a][de],
+		t.hostDown[dst],
+	}
+}

@@ -1,0 +1,315 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+
+	"numfabric/internal/core"
+	"numfabric/internal/fluid"
+	"numfabric/internal/netsim"
+	"numfabric/internal/oracle"
+	"numfabric/internal/queue"
+	"numfabric/internal/sim"
+	"numfabric/internal/workload"
+)
+
+// Engine selects the execution engine for an experiment: the
+// packet-level discrete-event simulator (faithful, slow) or the fluid
+// flow-level engine (epoch-based rate dynamics, orders of magnitude
+// faster — the only way to reach fat-tree/100k-flow regimes).
+type Engine int
+
+// The available engines.
+const (
+	EnginePacket Engine = iota
+	EngineFluid
+)
+
+func (e Engine) String() string {
+	switch e {
+	case EnginePacket:
+		return "packet"
+	case EngineFluid:
+		return "fluid"
+	default:
+		return fmt.Sprintf("Engine(%d)", int(e))
+	}
+}
+
+// ParseEngine parses "packet" or "fluid".
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "packet":
+		return EnginePacket, nil
+	case "fluid":
+		return EngineFluid, nil
+	default:
+		return 0, fmt.Errorf("harness: unknown engine %q (want packet or fluid)", s)
+	}
+}
+
+// FluidNetwork adapts a built Topology to the fluid engine's network
+// view: the same directed-link capacity vector, indexed by the same
+// LinkIDs that Topology.Route paths and oracle problems use, so routes
+// and oracle solutions carry over between engines unchanged.
+func FluidNetwork(t *Topology) *fluid.Network {
+	return fluid.NewNetwork(t.Net.Capacities())
+}
+
+// NewFluidTopology builds a Topology used purely as the fluid engine's
+// link-ID and route map: no packets ever flow, so the queue factory is
+// a stub that satisfies netsim's construction invariant.
+func NewFluidTopology(cfg TopologyConfig) *Topology {
+	net := netsim.NewNetwork(sim.NewEngine())
+	net.QueueFactory = func(*netsim.Port) netsim.Queue { return queue.NewDropTail(1 << 20) }
+	return NewTopology(net, cfg)
+}
+
+// FluidAllocatorFor maps a scheme onto its fluid-model allocator:
+// NUMFabric to the xWI price dynamics, DGD to dual gradient dynamics,
+// RCP* to the instantaneous NUM optimum (RCP* is engineered to
+// realize the α-fair allocation directly; its fluid idealization
+// converges in zero time), and the queue-level schemes (DCTCP,
+// pFabric) to instantaneous max-min water-filling, the closest
+// flow-level abstraction of their fair-sharing behavior.
+func FluidAllocatorFor(c SchemeConfig) fluid.Allocator {
+	switch c.Scheme {
+	case NUMFabric:
+		return &fluid.XWI{Eta: c.NUMFabric.Eta, Beta: c.NUMFabric.Beta, IterPerEpoch: 1}
+	case DGD:
+		return fluid.NewDGD()
+	case RCP:
+		return fluid.NewOracle()
+	default:
+		return fluid.NewWaterFill()
+	}
+}
+
+// FluidEpochFor returns the fluid epoch (seconds) matching the
+// scheme's control-loop cadence, so one epoch corresponds to one price
+// (or rate) update of the packet transport.
+func FluidEpochFor(c SchemeConfig) float64 {
+	switch c.Scheme {
+	case NUMFabric:
+		return c.NUMFabric.PriceUpdateInterval.Seconds()
+	case DGD:
+		return c.DGD.UpdateInterval.Seconds()
+	case RCP:
+		return c.RCP.UpdateInterval.Seconds()
+	default:
+		return 100e-6
+	}
+}
+
+// RunDynamicWith dispatches the dynamic-workload experiment to the
+// chosen engine.
+func RunDynamicWith(eng Engine, cfg DynamicConfig) DynamicResult {
+	if eng == EngineFluid {
+		return RunDynamicFluid(cfg)
+	}
+	return RunDynamic(cfg)
+}
+
+// RunSemiDynamicWith dispatches the semi-dynamic convergence
+// experiment to the chosen engine.
+func RunSemiDynamicWith(eng Engine, cfg SemiDynamicConfig) SemiDynamicResult {
+	if eng == EngineFluid {
+		return RunSemiDynamicFluid(cfg)
+	}
+	return RunSemiDynamic(cfg)
+}
+
+// RunDynamicFluid is the fluid-engine counterpart of RunDynamic: the
+// identical Poisson workload (same seed, same arrival schedule and
+// spine choices) played through the flow-level engine instead of the
+// packet simulator. Completion times get the topology's base RTT added
+// so they remain comparable with packet FCTs and the fluid-Oracle
+// ideals.
+func RunDynamicFluid(cfg DynamicConfig) DynamicResult {
+	topo := NewFluidTopology(cfg.Topo)
+	rng := sim.NewRNG(cfg.Seed)
+
+	arrivals := workload.Poisson(workload.PoissonConfig{
+		Hosts:    len(topo.Hosts),
+		HostLink: cfg.Topo.HostLink,
+		Load:     cfg.Load,
+		CDF:      cfg.CDF,
+		Duration: sim.Duration(sim.Forever / 2),
+		MaxFlows: cfg.Flows,
+	}, rng)
+	spines := make([]int, len(arrivals))
+	for i := range spines {
+		spines[i] = rng.Intn(cfg.Topo.Spines)
+	}
+
+	utilityFor := cfg.UtilityFor
+	if utilityFor == nil {
+		utilityFor = func(int64) core.Utility { return core.NewAlphaFair(cfg.Alpha) }
+	}
+
+	feng := fluid.NewEngine(FluidNetwork(topo), fluid.Config{
+		Epoch:     FluidEpochFor(cfg.Scheme),
+		Allocator: FluidAllocatorFor(cfg.Scheme),
+	})
+	flows := make([]*fluid.Flow, len(arrivals))
+	var lastArrival sim.Time
+	for i, a := range arrivals {
+		lastArrival = a.At
+		fwd, _ := topo.Route(a.Src, a.Dst, spines[i])
+		flows[i] = feng.AddFlow(PathLinkIDs(fwd), utilityFor(a.Size), a.Size, a.At.Seconds())
+	}
+	feng.Run(lastArrival.Add(cfg.Drain).Seconds())
+
+	var ideal []float64
+	if cfg.SkipFluidIdeal {
+		ideal = make([]float64, len(arrivals))
+		for i := range ideal {
+			ideal[i] = math.NaN()
+		}
+	} else {
+		ideal = FluidIdealFCTs(cfg, topo, arrivals, spines)
+	}
+
+	d0 := cfg.Topo.BaseRTT().Seconds()
+	res := DynamicResult{BDP: cfg.Topo.HostLink.Float() / 8 * cfg.Topo.BaseRTT().Seconds()}
+	for i, f := range flows {
+		if !f.Done() {
+			res.Unfinished++
+			continue
+		}
+		res.Records = append(res.Records, FlowRecord{
+			Size:     f.SizeBytes,
+			Start:    arrivals[i].At,
+			FCT:      f.FCT() + d0,
+			IdealFCT: ideal[i],
+		})
+	}
+	return res
+}
+
+// RunSemiDynamicFluid is the fluid-engine counterpart of
+// RunSemiDynamic: the §6.1 semi-dynamic scenario (random paths, batch
+// start/stop events, per-event convergence timing against the Oracle)
+// with the scheme's control dynamics run at flow granularity — one
+// allocator iteration per epoch. Convergence is measured on the
+// allocator's exact rates (no EWMA meter, so no filter rise-time
+// subtraction).
+func RunSemiDynamicFluid(cfg SemiDynamicConfig) SemiDynamicResult {
+	topo := NewFluidTopology(cfg.Topo)
+	rng := sim.NewRNG(cfg.Seed)
+	pairs := workload.RandomPairs(len(topo.Hosts), cfg.Paths, rng)
+	spines := make([]int, cfg.Paths)
+	for i := range spines {
+		spines[i] = rng.Intn(cfg.Topo.Spines)
+	}
+
+	epoch := FluidEpochFor(cfg.Scheme)
+	feng := fluid.NewEngine(FluidNetwork(topo), fluid.Config{
+		Epoch:     epoch,
+		Allocator: FluidAllocatorFor(cfg.Scheme),
+	})
+
+	type sdf struct {
+		flow  *fluid.Flow
+		links []int
+		util  core.Utility
+	}
+	var active []*sdf
+	start := func(n int) {
+		for i := 0; i < n; i++ {
+			pi := rng.Intn(len(pairs))
+			pr := pairs[pi]
+			fwd, _ := topo.Route(pr[0], pr[1], spines[pi])
+			links := PathLinkIDs(fwd)
+			u := core.NewAlphaFair(cfg.Alpha)
+			f := feng.AddFlow(links, u, 0, feng.Now())
+			active = append(active, &sdf{flow: f, links: links, util: u})
+		}
+	}
+	stop := func(n int) {
+		for i := 0; i < n && len(active) > 0; i++ {
+			idx := rng.Intn(len(active))
+			feng.Stop(active[idx].flow)
+			active[idx] = active[len(active)-1]
+			active = active[:len(active)-1]
+		}
+	}
+
+	var result SemiDynamicResult
+	var prices []float64
+	oracleRates := make(map[*fluid.Flow]float64)
+	beginEvent := func() {
+		p := core.NewProblem(feng.Net().Capacity)
+		for _, sf := range active {
+			p.AddFlow(sf.links, sf.util)
+		}
+		res := oracle.Solve(p, oracle.SolveOptions{MaxIter: 3000, Tol: 1e-6, InitPrices: prices})
+		prices = res.Prices
+		clear(oracleRates)
+		for i, sf := range active {
+			oracleRates[sf.flow] = res.Rates[i]
+		}
+	}
+
+	start((cfg.MinActive + cfg.MaxActive) / 2)
+	beginEvent()
+	for result.Events < cfg.Events {
+		eventStart := feng.Now()
+		holdStart, holding := 0.0, false
+		converged := false
+		for {
+			if !feng.Step() {
+				break
+			}
+			now := feng.Now()
+			within := 0
+			for _, sf := range active {
+				want := oracleRates[sf.flow]
+				if want <= 0 || math.Abs(sf.flow.Rate-want)/want <= cfg.Margin {
+					within++
+				}
+			}
+			frac := 1.0
+			if len(active) > 0 {
+				frac = float64(within) / float64(len(active))
+			}
+			if frac >= cfg.ConvergedFrac {
+				if !holding {
+					holding, holdStart = true, now
+				}
+				if now-holdStart >= cfg.Sustain.Seconds() {
+					result.ConvergenceTimes = append(result.ConvergenceTimes, holdStart-eventStart)
+					converged = true
+					break
+				}
+			} else {
+				holding = false
+				if now-eventStart >= cfg.EventTimeout.Seconds() {
+					break
+				}
+			}
+		}
+		if !converged {
+			result.Unconverged++
+		}
+		result.Events++
+		if result.Events >= cfg.Events {
+			break
+		}
+		n := cfg.FlowsPerEvent
+		switch {
+		case len(active)-n < cfg.MinActive:
+			start(n)
+		case len(active)+n > cfg.MaxActive:
+			stop(n)
+		default:
+			if rng.Intn(2) == 0 {
+				start(n)
+			} else {
+				stop(n)
+			}
+		}
+		beginEvent()
+	}
+	return result
+}

@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"math"
+	"testing"
+
+	"numfabric/internal/core"
+	"numfabric/internal/fluid"
+	"numfabric/internal/oracle"
+	"numfabric/internal/stats"
+	"numfabric/internal/workload"
+)
+
+// TestFluidLeafSpineGolden: the xWI fluid engine on the adapter-built
+// leaf-spine network reaches the oracle NUM optimum within 2%.
+func TestFluidLeafSpineGolden(t *testing.T) {
+	topo := NewFluidTopology(ScaledTopology())
+
+	// Flows that stress both host links and spine uplinks: a few
+	// cross-leaf pairs, two sharing a source host.
+	pairs := [][3]int{{0, 9, 0}, {0, 17, 1}, {8, 25, 0}, {16, 1, 1}, {24, 9, 0}}
+	var paths [][]int
+	var utils []core.Utility
+	for i, pr := range pairs {
+		fwd, _ := topo.Route(pr[0], pr[1], pr[2])
+		paths = append(paths, PathLinkIDs(fwd))
+		if i%2 == 0 {
+			utils = append(utils, core.ProportionalFair())
+		} else {
+			utils = append(utils, core.NewWeightedAlphaFair(1, 2))
+		}
+	}
+
+	p := core.NewProblem(topo.Net.Capacities())
+	for i := range paths {
+		p.AddFlow(paths[i], utils[i])
+	}
+	want := oracle.Solve(p, oracle.SolveOptions{}).Rates
+
+	feng := fluid.NewEngine(FluidNetwork(topo), fluid.Config{
+		Epoch:     100e-6,
+		Allocator: &fluid.XWI{IterPerEpoch: 4},
+	})
+	flows := make([]*fluid.Flow, len(paths))
+	for i := range paths {
+		flows[i] = feng.AddFlow(paths[i], utils[i], 0, 0)
+	}
+	feng.Run(0.5)
+	for i, f := range flows {
+		if want[i] <= 0 {
+			continue
+		}
+		if math.Abs(f.Rate-want[i])/want[i] > 0.02 {
+			t.Errorf("flow %d: fluid %.4g oracle %.4g (>2%% off)", i, f.Rate, want[i])
+		}
+	}
+}
+
+// TestFluidAllocatorDispatch: scheme → allocator mapping.
+func TestFluidAllocatorDispatch(t *testing.T) {
+	if _, ok := FluidAllocatorFor(DefaultConfig(NUMFabric, ScaledTopology())).(*fluid.XWI); !ok {
+		t.Error("NUMFabric should map to XWI")
+	}
+	if _, ok := FluidAllocatorFor(DefaultConfig(DGD, ScaledTopology())).(*fluid.DGD); !ok {
+		t.Error("DGD should map to DGD")
+	}
+	if _, ok := FluidAllocatorFor(DefaultConfig(RCP, ScaledTopology())).(*fluid.Oracle); !ok {
+		t.Error("RCP should map to Oracle")
+	}
+	if _, ok := FluidAllocatorFor(DefaultConfig(DCTCP, ScaledTopology())).(*fluid.WaterFill); !ok {
+		t.Error("DCTCP should map to WaterFill")
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	for s, want := range map[string]Engine{"packet": EnginePacket, "fluid": EngineFluid} {
+		got, err := ParseEngine(s)
+		if err != nil || got != want {
+			t.Errorf("ParseEngine(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseEngine("warp"); err == nil {
+		t.Error("ParseEngine should reject unknown engines")
+	}
+}
+
+// TestRunSemiDynamicFluid: the fluid semi-dynamic experiment converges
+// on most events, in sensible time.
+func TestRunSemiDynamicFluid(t *testing.T) {
+	cfg := DefaultSemiDynamic(NUMFabric)
+	cfg.Events = 5
+	res := RunSemiDynamicFluid(cfg)
+	if res.Events != cfg.Events {
+		t.Fatalf("ran %d events, want %d", res.Events, cfg.Events)
+	}
+	if res.Unconverged > 1 {
+		t.Errorf("%d/%d events unconverged", res.Unconverged, res.Events)
+	}
+	med := res.Median()
+	if math.IsNaN(med) || med < 0 || med > cfg.EventTimeout.Seconds() {
+		t.Errorf("median convergence %g out of range", med)
+	}
+}
+
+// TestRunDynamicFluid: the fluid dynamic-workload experiment completes
+// all flows and lands near the event-driven Oracle ideal.
+func TestRunDynamicFluid(t *testing.T) {
+	cfg := DefaultDynamic(NUMFabric, workload.Uniform(1<<20), 0.3)
+	cfg.Flows = 60
+	res := RunDynamicFluid(cfg)
+	if res.Unfinished != 0 {
+		t.Fatalf("%d flows unfinished", res.Unfinished)
+	}
+	if len(res.Records) != cfg.Flows {
+		t.Fatalf("got %d records, want %d", len(res.Records), cfg.Flows)
+	}
+	var devs []float64
+	for _, rec := range res.Records {
+		if rec.FCT <= 0 || math.IsNaN(rec.FCT) {
+			t.Fatalf("bad FCT %g", rec.FCT)
+		}
+		devs = append(devs, math.Abs(rec.Deviation()))
+	}
+	if med := stats.Median(devs); med > 0.3 {
+		t.Errorf("median |deviation| from oracle ideal %.3f, want < 0.3", med)
+	}
+}
+
+// TestRunDynamicWithDispatch: both engines run the same workload and
+// return comparable record sets.
+func TestRunDynamicWithDispatch(t *testing.T) {
+	cfg := DefaultDynamic(NUMFabric, workload.Uniform(200<<10), 0.2)
+	cfg.Flows = 20
+	cfg.SkipFluidIdeal = true
+	fl := RunDynamicWith(EngineFluid, cfg)
+	if len(fl.Records)+fl.Unfinished != cfg.Flows {
+		t.Errorf("fluid: %d records + %d unfinished != %d flows",
+			len(fl.Records), fl.Unfinished, cfg.Flows)
+	}
+}

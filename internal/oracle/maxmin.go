@@ -25,13 +25,67 @@ import "math"
 // capacity[l] is link l's capacity; paths[i] lists the links flow i
 // crosses; weight[i] > 0. The returned slice has one rate per flow.
 func WeightedMaxMin(capacity []float64, paths [][]int, weight []float64) []float64 {
+	var ws MaxMinWorkspace
+	return ws.WeightedMaxMin(capacity, paths, weight, nil)
+}
+
+// MaxMinWorkspace holds the scratch buffers of a WeightedMaxMin solve
+// so repeated solves (the fluid engine runs one per epoch) reuse
+// memory instead of reallocating. The zero value is ready to use; a
+// workspace must not be used concurrently.
+type MaxMinWorkspace struct {
+	frozen       []bool
+	rem          []float64
+	activeWeight []float64
+	activeCount  []int
+	start        []int
+	fill         []int
+	used         []int
+	linkFlows    []int32
+}
+
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func growI(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// WeightedMaxMin is WeightedMaxMin reusing the workspace's buffers.
+// The result is written into x when cap(x) suffices (a fresh slice is
+// allocated otherwise) and returned.
+func (ws *MaxMinWorkspace) WeightedMaxMin(capacity []float64, paths [][]int, weight []float64, x []float64) []float64 {
 	nf, nl := len(paths), len(capacity)
-	x := make([]float64, nf)
-	frozen := make([]bool, nf)
-	rem := append([]float64(nil), capacity...)
+	if cap(x) < nf {
+		x = make([]float64, nf)
+	}
+	x = x[:nf]
+	if cap(ws.frozen) < nf {
+		ws.frozen = make([]bool, nf)
+	}
+	frozen := ws.frozen[:nf]
+	for i := range frozen {
+		frozen[i] = false
+		x[i] = 0
+	}
+	ws.rem = growF(ws.rem, nl)
+	rem := ws.rem
+	copy(rem, capacity)
 	// activeWeight[l]: total weight of unfrozen flows crossing l.
-	activeWeight := make([]float64, nl)
-	activeCount := make([]int, nl)
+	ws.activeWeight = growF(ws.activeWeight, nl)
+	ws.activeCount = growI(ws.activeCount, nl)
+	activeWeight, activeCount := ws.activeWeight, ws.activeCount
+	for l := 0; l < nl; l++ {
+		activeWeight[l], activeCount[l] = 0, 0
+	}
+	entries := 0
 	for i, p := range paths {
 		w := weight[i]
 		if w <= 0 {
@@ -41,20 +95,60 @@ func WeightedMaxMin(capacity []float64, paths [][]int, weight []float64) []float
 			activeWeight[l] += w
 			activeCount[l]++
 		}
+		entries += len(p)
 	}
+	// CSR adjacency link → crossing flows, and the compact list of
+	// links any flow uses: rounds then cost O(active links), not
+	// O(all links) — the fluid engine calls this every epoch on
+	// fat-tree-sized networks where most links matter but flows are
+	// few.
+	ws.start = growI(ws.start, nl+1)
+	start := ws.start
+	start[0] = 0
+	for l := 0; l < nl; l++ {
+		start[l+1] = start[l] + activeCount[l]
+	}
+	if cap(ws.linkFlows) < entries {
+		ws.linkFlows = make([]int32, entries)
+	}
+	linkFlows := ws.linkFlows[:entries]
+	ws.fill = growI(ws.fill, nl)
+	fill := ws.fill
+	for l := range fill {
+		fill[l] = 0
+	}
+	used := ws.used[:0]
+	for i, p := range paths {
+		for _, l := range p {
+			if fill[l] == 0 {
+				used = append(used, l)
+			}
+			linkFlows[start[l]+fill[l]] = int32(i)
+			fill[l]++
+		}
+	}
+	// Retain used's (possibly regrown) buffer for the next call.
+	defer func() { ws.used = used }()
+
 	remaining := nf
 	for remaining > 0 {
-		// Find the bottleneck link: minimal fair share rem/activeWeight.
+		// Find the bottleneck link: minimal fair share
+		// rem/activeWeight — among links that still carry unfrozen
+		// flows, pruning the rest from the scan list as they drain.
 		best, bestShare := -1, math.Inf(1)
-		for l := 0; l < nl; l++ {
+		w := 0
+		for _, l := range used {
 			if activeCount[l] == 0 {
 				continue
 			}
+			used[w] = l
+			w++
 			share := rem[l] / activeWeight[l]
 			if share < bestShare {
 				best, bestShare = l, share
 			}
 		}
+		used = used[:w]
 		if best == -1 {
 			// Flows remain but no link constrains them: can only
 			// happen with inconsistent input; stop rather than loop.
@@ -64,18 +158,9 @@ func WeightedMaxMin(capacity []float64, paths [][]int, weight []float64) []float
 			bestShare = 0
 		}
 		// Freeze all unfrozen flows through the bottleneck.
-		for i, p := range paths {
+		for _, fi := range linkFlows[start[best]:start[best+1]] {
+			i := int(fi)
 			if frozen[i] {
-				continue
-			}
-			crosses := false
-			for _, l := range p {
-				if l == best {
-					crosses = true
-					break
-				}
-			}
-			if !crosses {
 				continue
 			}
 			w := weight[i]
@@ -85,16 +170,14 @@ func WeightedMaxMin(capacity []float64, paths [][]int, weight []float64) []float
 			x[i] = w * bestShare
 			frozen[i] = true
 			remaining--
-			for _, l := range p {
+			for _, l := range paths[i] {
 				rem[l] -= x[i]
 				activeWeight[l] -= w
 				activeCount[l]--
-			}
-		}
-		// Guard against negative residuals from float error.
-		for l := range rem {
-			if rem[l] < 0 {
-				rem[l] = 0
+				// Guard against negative residuals from float error.
+				if rem[l] < 0 {
+					rem[l] = 0
+				}
 			}
 		}
 	}

@@ -9,6 +9,13 @@
 //
 //   - a deterministic discrete-event packet simulator (hosts,
 //     output-queued switches, links, source routing);
+//   - a flow-granularity fluid simulation engine (internal/fluid)
+//     that advances the network in epochs under pluggable rate
+//     allocators — water-filling, xWI dynamics, DGD dynamics — and
+//     simulates the same scenarios two to three orders of magnitude
+//     faster than the packet path, reaching k-ary fat-trees and
+//     ≥50k-flow workloads (select it with RunDynamicWith/
+//     RunSemiDynamicWith or cmd/numfabric's -engine fluid flag);
 //   - the utility-function families of the paper's Table 1
 //     (α-fairness, FCT minimization, resource pooling, BwE bandwidth
 //     functions);
@@ -16,7 +23,10 @@
 //     baselines it is evaluated against;
 //   - exact and fluid reference solvers (the paper's "Oracle");
 //   - the workloads and experiment harnesses that regenerate every
-//     table and figure of the paper's evaluation (§6).
+//     table and figure of the paper's evaluation (§6), with a
+//     parallel sweep runner (fluid.Sweep) that fans independent
+//     seeds/configs across goroutines with deterministic per-shard
+//     RNG.
 //
 // # Quick start
 //
@@ -278,6 +288,29 @@ type DynamicResult = harness.DynamicResult
 // RunDynamic plays a Poisson workload and compares against the fluid
 // Oracle.
 func RunDynamic(cfg DynamicConfig) DynamicResult { return harness.RunDynamic(cfg) }
+
+// EngineType selects the execution engine for experiment drivers:
+// the faithful packet-level simulator or the fluid fast path.
+type EngineType = harness.Engine
+
+// The available engines.
+const (
+	EnginePacket = harness.EnginePacket
+	EngineFluid  = harness.EngineFluid
+)
+
+// RunDynamicWith runs the dynamic-workload experiment on the chosen
+// engine; EngineFluid runs the identical workload at flow granularity,
+// orders of magnitude faster.
+func RunDynamicWith(e EngineType, cfg DynamicConfig) DynamicResult {
+	return harness.RunDynamicWith(e, cfg)
+}
+
+// RunSemiDynamicWith runs the §6.1 convergence experiment on the
+// chosen engine.
+func RunSemiDynamicWith(e EngineType, cfg SemiDynamicConfig) SemiDynamicResult {
+	return harness.RunSemiDynamicWith(e, cfg)
+}
 
 // PoolingConfig configures the §6.3 resource-pooling experiment
 // (Figure 8).
