@@ -4,8 +4,8 @@ package numfabric
 // Each benchmark regenerates the corresponding result at reduced scale
 // (so `go test -bench .` completes in minutes) and reports the
 // headline numbers as custom benchmark metrics; `cmd/numfabric
-// -scale full` runs the paper-scale versions. EXPERIMENTS.md records
-// paper-vs-measured values for every row.
+// -scale full` runs the paper-scale versions. README.md's engine
+// comparison table records the measured headline numbers.
 
 import (
 	"testing"
@@ -417,4 +417,29 @@ func BenchmarkFluidFatTree(b *testing.B) {
 	fluidRate := float64(done) / b.Elapsed().Seconds()
 	b.ReportMetric(fluidRate, "flows/s")
 	b.ReportMetric(fluidRate/pktRate, "speedup-vs-packet")
+}
+
+// BenchmarkFluidPooling runs the ≥10k-subflow multipath fat-tree
+// resource-pooling scenario — 1280 aggregate flow groups, each
+// pooling 8 ECMP subflows under one proportional-fair utility of the
+// aggregate rate, on a k=8 fat-tree — through the fluid engine's
+// group-aware xWI dynamics, and reports the realized fraction of the
+// pooled optimum (host line rate per group; the fabric is
+// full-bisection). The packet engine's §6.3 run tops out near ~256
+// subflows; this is two orders of magnitude past it.
+func BenchmarkFluidPooling(b *testing.B) {
+	cfg := harness.DefaultFatTreePooling(true)
+	subflows := cfg.Groups * cfg.Subflows
+	if subflows < 10000 {
+		b.Fatalf("scenario has %d subflows, want ≥ 10000", subflows)
+	}
+	var res harness.PoolingResult
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		res = harness.RunFatTreePooling(cfg)
+	}
+	b.ReportMetric(float64(subflows), "subflows")
+	b.ReportMetric(float64(subflows)*float64(cfg.Epochs)*float64(b.N)/b.Elapsed().Seconds(), "subflow-epochs/s")
+	b.ReportMetric(res.TotalThroughputPct(), "total-pct-of-optimal")
+	b.ReportMetric(res.JainIndex(), "jain")
 }

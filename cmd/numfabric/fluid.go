@@ -77,6 +77,55 @@ func runFatTree(full bool, seed uint64) {
 	writeCSV("fattree_fct.csv", tab)
 }
 
+// runFluidPooling is the fluid-only resource-pooling-at-scale
+// experiment (§6.3 / Figure 8 on a fat-tree): multipath aggregates
+// pooling ECMP subflows under one utility of the aggregate rate,
+// via fluid.Group. Part one sweeps subflows-per-pair on permutation
+// traffic (the Figure 8 contrast: pooling recovers the capacity ECMP
+// hash collisions strand); part two runs the dense ≥10k-subflow
+// scenario the packet engine cannot reach.
+func runFluidPooling(full bool, seed uint64) {
+	k := 8
+	if full {
+		k = 16
+	}
+	hosts := k * k * k / 4
+
+	fmt.Printf("Permutation traffic on a k=%d fat-tree (%d hosts); per-pair\n", k, hosts)
+	fmt.Println("throughput as % of the pooled optimum (full-bisection host line rate):")
+	fmt.Printf("%-9s %-8s %8s %8s\n", "subflows", "pooling", "total%", "Jain")
+	tab := trace.NewTable("subflows", "pooling", "total_pct", "jain")
+	for _, m := range []int{1, 2, 4, 8} {
+		for _, pool := range []bool{true, false} {
+			cfg := harness.DefaultFatTreePooling(pool)
+			cfg.K, cfg.Groups, cfg.Subflows, cfg.Seed = k, hosts, m, seed
+			res := harness.RunFatTreePooling(cfg)
+			fmt.Printf("%-9d %-8v %7.1f%% %8.3f\n", m, pool, res.TotalThroughputPct(), res.JainIndex())
+			p := 0.0
+			if pool {
+				p = 1
+			}
+			_ = tab.Append(float64(m), p, res.TotalThroughputPct(), res.JainIndex())
+		}
+	}
+	writeCSV("fluidpooling_sweep.csv", tab)
+
+	cfg := harness.DefaultFatTreePooling(true)
+	cfg.Seed = seed
+	if full {
+		cfg.K, cfg.Groups, cfg.Subflows = 16, 2048, 16
+	}
+	subflows := cfg.Groups * cfg.Subflows
+	fmt.Printf("\ndense scale run: %d groups × %d ECMP subflows = %d subflows, %d epochs\n",
+		cfg.Groups, cfg.Subflows, subflows, cfg.Epochs)
+	wall := time.Now()
+	res := harness.RunFatTreePooling(cfg)
+	elapsed := time.Since(wall)
+	fmt.Printf("total=%.1f%% of pooled optimum, Jain=%.3f, %v wall-clock (%.0f subflow-epochs/s)\n",
+		res.TotalThroughputPct(), res.JainIndex(), elapsed.Round(time.Millisecond),
+		float64(subflows*cfg.Epochs)/elapsed.Seconds())
+}
+
 // runFluidSweep fans independent seeds of the fluid semi-dynamic
 // convergence experiment across goroutines (fluid.Sweep): a multi-seed
 // Figure-4a at fluid speed, with deterministic per-shard RNG so the

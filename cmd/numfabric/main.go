@@ -7,16 +7,18 @@
 //
 // Experiments: table1, table2, fig2, fig4a, fig4bc, fig5a, fig5b,
 // fig6a, fig6b, fig6c, fig7, fig8, fig9, fig10, fattree, fluidsweep,
-// all.
+// fluidpooling, all.
 //
-// -engine selects the execution engine for the convergence (fig4a)
-// and dynamic-workload (fig5a/fig5b) experiments: "packet" is the
-// faithful packet-level discrete-event simulator; "fluid" runs the
-// same scenarios on the flow-granularity fluid engine
-// (internal/fluid), orders of magnitude faster. The fattree experiment
-// (a k=8 fat-tree serving ≥50k flows) and the fluidsweep experiment (a
-// multi-seed convergence sweep fanned across goroutines) are
-// fluid-only: they run regimes the packet engine cannot reach.
+// -engine selects the execution engine for the convergence (fig4a),
+// dynamic-workload (fig5a/fig5b), and resource-pooling (fig8)
+// experiments: "packet" is the faithful packet-level discrete-event
+// simulator; "fluid" runs the same scenarios on the flow-granularity
+// fluid engine (internal/fluid), orders of magnitude faster. Three
+// experiments are fluid-only — they run regimes the packet engine
+// cannot reach: fattree (a k=8 fat-tree serving ≥50k flows),
+// fluidsweep (a multi-seed convergence sweep fanned across
+// goroutines), and fluidpooling (multipath aggregate groups pooling
+// ≥10k ECMP subflows on a fat-tree).
 package main
 
 import (
@@ -61,11 +63,11 @@ func writeCSV(name string, t *trace.Table) {
 }
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment id (table1, table2, fig2, fig4a, fig4bc, fig5a, fig5b, fig6a, fig6b, fig6c, fig7, fig8, fig9, fig10, fattree, fluidsweep, all)")
+	exp := flag.String("experiment", "all", "experiment id (table1, table2, fig2, fig4a, fig4bc, fig5a, fig5b, fig6a, fig6b, fig6c, fig7, fig8, fig9, fig10, fattree, fluidsweep, fluidpooling, all)")
 	scale := flag.String("scale", "scaled", "\"scaled\" (32 hosts, fast) or \"full\" (paper scale, slow)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	out := flag.String("out", "", "directory for CSV output (optional)")
-	eng := flag.String("engine", "packet", "\"packet\" (discrete-event simulator) or \"fluid\" (flow-level fast path) for fig4a/fig5a/fig5b")
+	eng := flag.String("engine", "packet", "\"packet\" (discrete-event simulator) or \"fluid\" (flow-level fast path) for fig4a/fig5a/fig5b/fig8")
 	flag.Parse()
 	outDir = *out
 	var err error
@@ -92,7 +94,7 @@ func main() {
 		"fig4a": true, "fig4bc": true, "fig5a": true, "fig5b": true,
 		"fig6a": true, "fig6b": true, "fig6c": true, "fig7": true,
 		"fig8": true, "fig9": true, "fig10": true, "fattree": true,
-		"fluidsweep": true, "all": true}
+		"fluidsweep": true, "fluidpooling": true, "all": true}
 	if !known[*exp] {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -114,6 +116,7 @@ func main() {
 	run("fig10", runFig10)
 	run("fattree", runFatTree)
 	run("fluidsweep", runFluidSweep)
+	run("fluidpooling", runFluidPooling)
 }
 
 func semiCfg(s harness.Scheme, full bool, seed uint64) harness.SemiDynamicConfig {
@@ -317,13 +320,13 @@ func runFig7(full bool, seed uint64) {
 }
 
 func runFig8(full bool, seed uint64) {
-	fmt.Println("Resource pooling (Figure 8):")
+	fmt.Printf("Resource pooling (Figure 8, %s engine):\n", engine)
 	fmt.Printf("%-9s %-8s %8s %8s\n", "subflows", "pooling", "total%", "Jain")
 	for _, k := range []int{1, 2, 3, 4, 5, 6, 7, 8} {
 		for _, pool := range []bool{true, false} {
 			cfg := harness.DefaultPooling(k, pool)
 			cfg.Seed = seed
-			res := harness.RunPooling(cfg)
+			res := harness.RunPoolingWith(engine, cfg)
 			fmt.Printf("%-9d %-8v %7.1f%% %8.3f\n", k, pool, res.TotalThroughputPct(), res.JainIndex())
 		}
 	}

@@ -3,6 +3,12 @@
 // per pair, ECMP hash collisions strand capacity; with several pooled
 // subflows per pair, the fabric behaves like one big link and every
 // pair converges to its fair share of it.
+//
+// This example runs the packet-level simulator and finishes with the
+// same scenario on the fluid engine (RunPoolingWith), which plays the
+// identical seed through fluid multipath aggregate groups orders of
+// magnitude faster — see examples/fluidpooling for the group API
+// itself and for pooling on fat-trees at ≥10k-subflow scale.
 package main
 
 import (
@@ -38,4 +44,10 @@ func main() {
 		fmt.Printf(" %5.1f%%", pct)
 	}
 	fmt.Println()
+
+	fmt.Println()
+	fmt.Println("Same scenario on the fluid engine (flow-level groups, same seed):")
+	fl := numfabric.RunPoolingWith(numfabric.EngineFluid, numfabric.DefaultPooling(4, true))
+	fmt.Printf("  4 subflows, pooling on: %5.1f%% of optimal, Jain %.3f\n",
+		fl.TotalThroughputPct(), fl.JainIndex())
 }

@@ -12,7 +12,9 @@ import (
 // allocators carry per-link prices, which is what lets them model
 // convergence dynamics over simulated time and warm-start across
 // arrivals and departures). rates has one entry per flow, in flow
-// order; implementations must fill every entry.
+// order; implementations must fill every entry. Group members appear
+// as ordinary entries of flows; allocators apply the group's utility
+// to the members' total rate (see Group).
 type Allocator interface {
 	Allocate(net *Network, flows []*Flow, rates []float64)
 	// Reset discards internal state (prices); the next Allocate starts
@@ -20,10 +22,13 @@ type Allocator interface {
 	Reset()
 }
 
-// scratch holds the per-call path/weight views shared by allocators.
+// scratch holds the per-call path/weight/group views shared by
+// allocators.
 type scratch struct {
 	paths   [][]int
 	weights []float64
+	groups  []*Group
+	stamp   int
 }
 
 func (s *scratch) resize(n int) {
@@ -35,11 +40,60 @@ func (s *scratch) resize(n int) {
 	s.weights = s.weights[:n]
 }
 
+// collectGroups gathers the distinct aggregates among flows, in
+// first-member order, via the groups' scan stamps (no per-call
+// allocation once warm).
+func (s *scratch) collectGroups(flows []*Flow) []*Group {
+	s.stamp++
+	s.groups = s.groups[:0]
+	for _, f := range flows {
+		if g := f.Group; g != nil && g.stamp != s.stamp {
+			g.stamp = s.stamp
+			s.groups = append(s.groups, g)
+		}
+	}
+	return s.groups
+}
+
+// groupShareFloor keeps a group member's weight share above zero so an
+// idle path keeps probing for newly available capacity (the same idea
+// as transport.Aggregate's floor on the packet side).
+const groupShareFloor = 0.05
+
+// groupTotals recomputes each group's aggRate as the members' total in
+// x and refreshes the members' smoothed throughput shares.
+func groupTotals(groups []*Group, flows []*Flow, x []float64) {
+	for _, g := range groups {
+		g.aggRate = 0
+	}
+	for i, f := range flows {
+		if f.Group != nil {
+			f.Group.aggRate += x[i]
+		}
+	}
+	for i, f := range flows {
+		g := f.Group
+		if g == nil || g.aggRate <= 0 {
+			continue
+		}
+		// Smooth the share to stabilize the heuristic (as in
+		// oracle.Solve).
+		f.share = 0.5*f.share + 0.5*x[i]/g.aggRate
+	}
+}
+
 // WaterFill is the instantaneous weighted max-min allocator: every
 // epoch the rates jump straight to the exact water-filling allocation
 // (Eq. 8) for the flows' static weights, via the oracle's progressive
 // filling. It models a fabric whose transport converges instantly —
 // the Swift layer with fixed weights — and is the fastest allocator.
+//
+// Groups split their weight across members by each member's share of
+// the group's max-min throughput, iterated a few rounds so members
+// through tighter bottlenecks shed weight onto less congested paths
+// (per-member bottleneck awareness). Shares restart equal every call,
+// so the allocation stays a pure function of the active flow set and
+// the allocator remains stationary.
 type WaterFill struct {
 	s  scratch
 	ws oracle.MaxMinWorkspace
@@ -47,6 +101,11 @@ type WaterFill struct {
 
 // NewWaterFill returns a WaterFill allocator.
 func NewWaterFill() *WaterFill { return &WaterFill{} }
+
+// waterfillShareRounds is how many share-refinement water-fill rounds
+// grouped allocations run; shares contract geometrically, so a few
+// rounds reach the fixed split to well under a percent.
+const waterfillShareRounds = 8
 
 // Allocate computes the weighted max-min allocation.
 func (w *WaterFill) Allocate(net *Network, flows []*Flow, rates []float64) {
@@ -58,7 +117,31 @@ func (w *WaterFill) Allocate(net *Network, flows []*Flow, rates []float64) {
 			w.s.weights[i] = 1
 		}
 	}
-	w.ws.WeightedMaxMin(net.Capacity, w.s.paths, w.s.weights, rates)
+	groups := w.s.collectGroups(flows)
+	if len(groups) == 0 {
+		w.ws.WeightedMaxMin(net.Capacity, w.s.paths, w.s.weights, rates)
+		return
+	}
+	for _, f := range flows {
+		if g := f.Group; g != nil {
+			f.share = 1 / float64(len(g.Members))
+		}
+	}
+	for r := 0; r < waterfillShareRounds; r++ {
+		for i, f := range flows {
+			g := f.Group
+			if g == nil {
+				continue
+			}
+			wgt := g.Weight
+			if wgt <= 0 {
+				wgt = 1
+			}
+			w.s.weights[i] = wgt * math.Max(f.share, groupShareFloor)
+		}
+		w.ws.WeightedMaxMin(net.Capacity, w.s.paths, w.s.weights, rates)
+		groupTotals(groups, flows, rates)
+	}
 }
 
 // Reset is a no-op: WaterFill is stateless.
@@ -81,6 +164,14 @@ func (w *WaterFill) Stationary() bool { return true }
 // transient for faster convergence per epoch. The steady state is the
 // NUM optimum (the paper's Theorem 1: the fixed point of these
 // dynamics solves the NUM problem).
+//
+// Groups use the paper's §6.3 multipath heuristic, exactly as
+// oracle.Solve does: each member's weight is the aggregate weight
+// implied by its own path price, scaled by the member's smoothed share
+// of the group's throughput, and residuals use the utility's marginal
+// at the group's TOTAL rate. The shares persist across epochs on the
+// member flows, so convergence warm-starts over arrivals and
+// departures like the prices do.
 type XWI struct {
 	// Eta is the underutilization gain η (Eq. 10; default 5).
 	Eta float64
@@ -155,13 +246,24 @@ func (a *XWI) Allocate(net *Network, flows []*Flow, rates []float64) {
 		a.has = make([]bool, nl)
 	}
 	load, minRes, hasFlow := a.load[:nl], a.res[:nl], a.has[:nl]
+	groups := a.s.collectGroups(flows)
 	var x []float64
 	for it := 0; it < iters; it++ {
 		for i, f := range flows {
-			weights[i] = clamp(f.U.InverseMarginal(pathPrice(i)), wMin, wMax)
+			w := f.U.InverseMarginal(pathPrice(i))
+			if f.Group != nil {
+				// §6.3 heuristic: scale the aggregate weight by the
+				// member's throughput share (floored so an unused path
+				// keeps probing), as in oracle.Solve.
+				w *= math.Max(f.share, 1e-3)
+			}
+			weights[i] = clamp(w, wMin, wMax)
 		}
 		x = a.ws.WeightedMaxMin(net.Capacity, paths, weights, a.x)
 		a.x = x
+		if len(groups) > 0 {
+			groupTotals(groups, flows, x)
+		}
 
 		for l := 0; l < nl; l++ {
 			load[l], hasFlow[l] = 0, false
@@ -169,7 +271,12 @@ func (a *XWI) Allocate(net *Network, flows []*Flow, rates []float64) {
 		}
 		for i, f := range flows {
 			rate := x[i]
-			marg := f.U.Marginal(math.Max(rate, 1))
+			agg := rate
+			if f.Group != nil {
+				// The KKT marginal of an aggregate is of its total rate.
+				agg = f.Group.aggRate
+			}
+			marg := f.U.Marginal(math.Max(agg, math.Max(rate, 1)))
 			res := (marg - pathPrice(i)) / float64(len(paths[i]))
 			for _, l := range paths[i] {
 				load[l] += rate
@@ -201,13 +308,15 @@ func (a *XWI) Allocate(net *Network, flows []*Flow, rates []float64) {
 // warm-starting link prices across epochs. It models an idealized
 // transport with instantaneous convergence — the paper's Oracle — and
 // is the fluid analog of schemes like RCP* that are engineered to
-// realize the α-fair optimum directly.
+// realize the α-fair optimum directly. Groups are solved exactly, as
+// multi-flow groups of the underlying core.Problem.
 type Oracle struct {
 	// MaxIter bounds the solver per epoch (default 2000; warm starts
 	// keep the realized count far lower).
 	MaxIter int
 
 	prices []float64
+	s      scratch
 }
 
 // NewOracle returns an Oracle allocator.
@@ -227,7 +336,17 @@ func (o *Oracle) Allocate(net *Network, flows []*Flow, rates []float64) {
 		maxIter = 2000
 	}
 	p := core.NewProblem(net.Capacity)
+	for _, g := range o.s.collectGroups(flows) {
+		g.gid = -1
+	}
 	for _, f := range flows {
+		if g := f.Group; g != nil {
+			if g.gid < 0 {
+				g.gid = p.AddAggregate(g.U)
+			}
+			p.AddSubflow(g.gid, f.Links)
+			continue
+		}
 		p.AddFlow(f.Links, f.U)
 	}
 	res := oracle.Solve(p, oracle.SolveOptions{
@@ -248,6 +367,13 @@ func (o *Oracle) Allocate(net *Network, flows []*Flow, rates []float64) {
 // returned allocation is projected onto the capacity region by
 // uniformly scaling flows through overloaded links. The price dynamics
 // themselves use the unprojected rates, exactly as in the algorithm.
+//
+// Groups follow the multipath dual: an aggregate's demand is
+// U'⁻¹(cheapest member path price) — at the optimum all used paths
+// share the minimum price — and the demand is steered onto the
+// cheapest member path(s), with the split smoothed across iterations
+// so price ties (the equilibrium condition) settle into a stable
+// share instead of flapping.
 type DGD struct {
 	// Gamma is the step size per unit of the largest link capacity
 	// (default 0.2, matching oracle.DGDOptions).
@@ -260,6 +386,8 @@ type DGD struct {
 	price []float64
 	x     []float64
 	load  []float64
+	q     []float64
+	s     scratch
 }
 
 // NewDGD returns a DGD allocator with defaults.
@@ -305,13 +433,24 @@ func (a *DGD) Allocate(net *Network, flows []*Flow, rates []float64) {
 		a.load = make([]float64, nl)
 	}
 	load := a.load[:nl]
+	if cap(a.q) < nf {
+		a.q = make([]float64, nf)
+	}
+	q := a.q[:nf]
+	groups := a.s.collectGroups(flows)
 	for it := 0; it < iters; it++ {
 		for i, f := range flows {
 			sum := 0.0
 			for _, l := range f.Links {
 				sum += price[l]
 			}
-			x[i] = math.Min(f.U.InverseMarginal(sum), xCap)
+			q[i] = sum
+			if f.Group == nil {
+				x[i] = math.Min(f.U.InverseMarginal(sum), xCap)
+			}
+		}
+		if len(groups) > 0 {
+			a.groupDemands(groups, flows, q, x, xCap)
 		}
 		for l := range load {
 			load[l] = 0
@@ -332,6 +471,70 @@ func (a *DGD) Allocate(net *Network, flows []*Flow, rates []float64) {
 	// load still holds the final iteration's per-link loads of x,
 	// which rates now equals — reuse it for the projection.
 	projectFeasible(net, flows, rates, load)
+}
+
+// groupDemands fills x for group members: each group demands
+// U'⁻¹(cheapest member path price) in total, steered onto the member
+// path(s) at that minimum price. Because at the multipath optimum all
+// used paths tie at the minimum price (a degenerate face of the dual),
+// the steering carries heavy inertia: shares move a few percent per
+// iteration toward the current cheapest set, so price ties settle into
+// a stable time-average split instead of flapping the whole demand
+// between members. Shares persist on the flows and are renormalized so
+// every group's shares sum to one.
+func (a *DGD) groupDemands(groups []*Group, flows []*Flow, q, x []float64, xCap float64) {
+	const inertia = 0.95
+	for _, g := range groups {
+		g.qmin = math.Inf(1)
+		g.scan = 0 // cheapest-member count, then share sum
+		g.aggRate = 0
+	}
+	for i, f := range flows {
+		if g := f.Group; g != nil && q[i] < g.qmin {
+			g.qmin = q[i]
+		}
+	}
+	cheap := func(i int, f *Flow) bool {
+		qmin := f.Group.qmin
+		return q[i] <= qmin*(1+1e-9)+1e-12
+	}
+	for i, f := range flows {
+		if f.Group != nil && cheap(i, f) {
+			f.Group.scan++
+		}
+	}
+	for i, f := range flows {
+		g := f.Group
+		if g == nil {
+			continue
+		}
+		target := 0.0
+		if cheap(i, f) {
+			target = 1 / g.scan
+		}
+		f.share = inertia*f.share + (1-inertia)*target
+	}
+	for _, g := range groups {
+		g.scan = 0
+	}
+	for _, f := range flows {
+		if f.Group != nil {
+			f.Group.scan += f.share
+		}
+	}
+	for i, f := range flows {
+		g := f.Group
+		if g == nil {
+			continue
+		}
+		y := math.Min(f.U.InverseMarginal(g.qmin), xCap)
+		if g.scan > 0 {
+			x[i] = y * f.share / g.scan
+		} else {
+			x[i] = y / float64(len(g.Members))
+		}
+		g.aggRate += x[i]
+	}
 }
 
 // projectFeasible scales rates down so no link exceeds capacity: each

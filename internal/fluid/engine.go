@@ -42,6 +42,10 @@ type Engine struct {
 	finished []*Flow
 	rates    []float64
 	nextID   int
+
+	activeGroups   []*Group
+	finishedGroups []*Group
+	nextGroupID    int
 	// changed tracks whether the active set was modified since the
 	// last allocation; stationary allocators skip recomputation while
 	// it is false.
@@ -80,12 +84,20 @@ func (e *Engine) Net() *Network { return e.net }
 // Epoch returns the epoch duration in seconds.
 func (e *Engine) Epoch() float64 { return e.cfg.Epoch }
 
-// Active returns the live view of active flows; valid until the next
-// Step.
+// Active returns the live view of active flows (including group
+// members); valid until the next Step.
 func (e *Engine) Active() []*Flow { return e.active }
 
-// Finished returns every completed flow, in completion order.
+// Finished returns every completed flow, in completion order. Group
+// members appear here too, stamped with their group's finish time.
 func (e *Engine) Finished() []*Flow { return e.finished }
+
+// ActiveGroups returns the live view of active groups; valid until
+// the next Step.
+func (e *Engine) ActiveGroups() []*Group { return e.activeGroups }
+
+// FinishedGroups returns every completed group, in completion order.
+func (e *Engine) FinishedGroups() []*Group { return e.finishedGroups }
 
 // OnEpoch registers a callback invoked after every epoch's drain with
 // the new time and the active flow set — the hook the trace/stats
@@ -115,14 +127,62 @@ func (e *Engine) AddFlow(links []int, u core.Utility, sizeBytes int64, at float6
 	return f
 }
 
+// AddGroup schedules a multipath aggregate over the given paths (one
+// member subflow per path), arriving as a unit at time at, with
+// utility u of the group's TOTAL rate and a shared payload of
+// sizeBytes (0 = unbounded). It returns the Group for inspection; the
+// member flows are in Group.Members, path order.
+func (e *Engine) AddGroup(paths [][]int, u core.Utility, sizeBytes int64, at float64) *Group {
+	g := &Group{
+		ID:        e.nextGroupID,
+		U:         u,
+		Weight:    1,
+		SizeBytes: sizeBytes,
+		Arrive:    at,
+		Remaining: float64(sizeBytes),
+		Finish:    math.NaN(),
+		pos:       -1,
+	}
+	e.nextGroupID++
+	for _, links := range paths {
+		f := e.AddFlow(links, u, 0, at)
+		f.Group = g
+		f.share = 1 / float64(len(paths))
+		g.Members = append(g.Members, f)
+	}
+	return g
+}
+
 // Stop removes an active flow immediately (for unbounded flows driven
-// by an external event script); its Finish stays NaN.
+// by an external event script); its Finish stays NaN. Stopping a group
+// member withdraws that one path; the group keeps draining on the
+// rest.
 func (e *Engine) Stop(f *Flow) {
 	if f.pos < 0 {
 		return
 	}
 	e.removeActive(f)
 	f.Rate = 0
+}
+
+// StopGroup removes an active group and all its members immediately;
+// Finish stays NaN on the group and its members.
+func (e *Engine) StopGroup(g *Group) {
+	for _, m := range g.Members {
+		e.Stop(m)
+	}
+	if g.pos >= 0 {
+		e.removeActiveGroup(g)
+	}
+}
+
+func (e *Engine) removeActiveGroup(g *Group) {
+	i := g.pos
+	last := len(e.activeGroups) - 1
+	e.activeGroups[i] = e.activeGroups[last]
+	e.activeGroups[i].pos = i
+	e.activeGroups = e.activeGroups[:last]
+	g.pos = -1
 }
 
 func (e *Engine) removeActive(f *Flow) {
@@ -145,6 +205,10 @@ func (e *Engine) admitDue() {
 		f := e.pending[n]
 		f.pos = len(e.active)
 		e.active = append(e.active, f)
+		if g := f.Group; g != nil && g.pos < 0 {
+			g.pos = len(e.activeGroups)
+			e.activeGroups = append(e.activeGroups, g)
+		}
 		n++
 	}
 	if n > 0 {
@@ -192,6 +256,42 @@ func (e *Engine) Step() bool {
 			e.removeActive(f)
 			e.finished = append(e.finished, f)
 			// removeActive moved another flow into slot i; revisit it.
+		}
+		// Drain groups: a finite group's shared payload empties at the
+		// members' total rate, and the group completes as a unit (the
+		// per-flow loop above skips members — their SizeBytes is 0).
+		firstDoneGroup := len(e.finishedGroups)
+		for gi := 0; gi < len(e.activeGroups); {
+			g := e.activeGroups[gi]
+			total := g.Rate()
+			if g.SizeBytes == 0 || total <= 0 {
+				gi++
+				continue
+			}
+			drain := total / 8 * dt
+			if drain < g.Remaining {
+				g.Remaining -= drain
+				gi++
+				continue
+			}
+			g.Finish = e.now + g.Remaining*8/total
+			g.Remaining = 0
+			for _, m := range g.Members {
+				// A member withdrawn earlier via Stop keeps its NaN
+				// Finish — it did not complete.
+				if m.pos < 0 {
+					continue
+				}
+				m.Finish = g.Finish
+				e.removeActive(m)
+				e.finished = append(e.finished, m)
+			}
+			e.removeActiveGroup(g)
+			e.finishedGroups = append(e.finishedGroups, g)
+			// removeActiveGroup moved another group into slot gi.
+		}
+		if batch := e.finishedGroups[firstDoneGroup:]; len(batch) > 1 {
+			sort.SliceStable(batch, func(i, j int) bool { return batch[i].Finish < batch[j].Finish })
 		}
 		// The scan discovers same-epoch completions in slice order;
 		// restore completion order within the epoch's batch.

@@ -16,10 +16,18 @@
 // steady states still agree with the oracle solvers to well under a
 // percent.
 //
+// Flows may be pooled into multipath aggregates (Group): N member
+// subflows, each on its own path, governed by one utility of the
+// group's total rate — the paper's resource-pooling objective (Table 1
+// row 4, §6.3) at fluid granularity. Every allocator splits a group's
+// demand across its members (see Group).
+//
 // The package also provides a k-ary fat-tree topology generator
-// (topologies far beyond the packet path's leaf-spine reach) and a
-// parallel sweep runner that fans independent seeds/configs across
-// goroutines with deterministic per-shard RNG streams.
+// (topologies far beyond the packet path's leaf-spine reach) with full
+// ECMP path-set enumeration for instantiating groups over real
+// multipath topologies, and a parallel sweep runner that fans
+// independent seeds/configs across goroutines with deterministic
+// per-shard RNG streams.
 package fluid
 
 import (
@@ -65,6 +73,17 @@ type Flow struct {
 	Rate float64
 	// Finish is the completion time in seconds (NaN while running).
 	Finish float64
+
+	// Group is the aggregate this flow belongs to as a member subflow,
+	// nil for an ordinary single-path flow. Grouped flows drain from
+	// the group's shared payload and their U aliases the group's
+	// utility of the TOTAL rate.
+	Group *Group
+
+	// share is the flow's smoothed fraction of its group's throughput,
+	// the state behind the §6.3 multipath weight heuristic; allocators
+	// update it across epochs.
+	share float64
 
 	// pos is the flow's index in the engine's active slice (-1 when
 	// not active), for O(1) removal.

@@ -1,6 +1,7 @@
 package fluid
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -298,6 +299,67 @@ func TestFatTreeStructure(t *testing.T) {
 		}
 		if same && half > 1 {
 			t.Errorf("k=%d: path choices 0 and 1 identical", k)
+		}
+	}
+}
+
+// TestFatTreeRoutesDeterministic: the ECMP path-set enumeration is
+// complete (PathCount paths, one per choice), pairwise distinct, and
+// deterministic — identical across calls and across independently
+// built trees of the same shape.
+func TestFatTreeRoutesDeterministic(t *testing.T) {
+	const k = 4
+	ft := NewFatTree(k, 10e9)
+	half := k / 2
+	pairs := []struct {
+		src, dst, count int
+	}{
+		{0, 1, 1},                     // same edge
+		{0, half, half},               // same pod, different edge
+		{0, half * half, half * half}, // different pod
+		{ft.Hosts() - 1, 0, half * half},
+	}
+	other := NewFatTree(k, 10e9)
+	for _, pr := range pairs {
+		if got := ft.PathCount(pr.src, pr.dst); got != pr.count {
+			t.Fatalf("PathCount(%d,%d) = %d want %d", pr.src, pr.dst, got, pr.count)
+		}
+		paths := ft.Routes(pr.src, pr.dst)
+		if len(paths) != pr.count {
+			t.Fatalf("Routes(%d,%d): %d paths want %d", pr.src, pr.dst, len(paths), pr.count)
+		}
+		seen := map[string]bool{}
+		for i, p := range paths {
+			// Each enumerated path is the corresponding Route choice.
+			want := ft.Route(pr.src, pr.dst, i)
+			if len(p) != len(want) {
+				t.Fatalf("Routes(%d,%d)[%d] != Route choice %d", pr.src, pr.dst, i, i)
+			}
+			key := ""
+			for j, l := range p {
+				if l != want[j] {
+					t.Fatalf("Routes(%d,%d)[%d] diverges from Route at hop %d", pr.src, pr.dst, i, j)
+				}
+				key += fmt.Sprintf("%d,", l)
+			}
+			if seen[key] {
+				t.Errorf("Routes(%d,%d): duplicate path %v", pr.src, pr.dst, p)
+			}
+			seen[key] = true
+		}
+		// Re-enumeration and an independently built identical tree
+		// produce the same path set.
+		again := ft.Routes(pr.src, pr.dst)
+		otherPaths := other.Routes(pr.src, pr.dst)
+		for i := range paths {
+			for j := range paths[i] {
+				if again[i][j] != paths[i][j] {
+					t.Fatalf("Routes(%d,%d) changed between calls", pr.src, pr.dst)
+				}
+				if otherPaths[i][j] != paths[i][j] {
+					t.Fatalf("Routes(%d,%d) differs across identical trees", pr.src, pr.dst)
+				}
+			}
 		}
 	}
 }

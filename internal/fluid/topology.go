@@ -125,3 +125,38 @@ func (t *FatTree) Route(src, dst, pathChoice int) []int {
 		t.hostDown[dst],
 	}
 }
+
+// PathCount returns the size of the ECMP path set between hosts src
+// and dst: 1 under the same edge switch, k/2 within a pod (one path
+// per aggregation switch), (k/2)² across pods (one per aggregation ×
+// core pick).
+func (t *FatTree) PathCount(src, dst int) int {
+	if src == dst {
+		panic("fluid: fat-tree flow to self")
+	}
+	half := t.K / 2
+	sp, se := t.locate(src)
+	dp, de := t.locate(dst)
+	switch {
+	case sp == dp && se == de:
+		return 1
+	case sp == dp:
+		return half
+	default:
+		return half * half
+	}
+}
+
+// Routes returns the full ECMP path set between hosts src and dst, in
+// deterministic choice order: Routes(src, dst)[i] equals
+// Route(src, dst, i) for every i in [0, PathCount(src, dst)). The
+// paths are pairwise distinct and independent of any prior calls —
+// the enumeration groups can be instantiated over.
+func (t *FatTree) Routes(src, dst int) [][]int {
+	n := t.PathCount(src, dst)
+	paths := make([][]int, n)
+	for i := range paths {
+		paths[i] = t.Route(src, dst, i)
+	}
+	return paths
+}

@@ -7,6 +7,7 @@ import (
 	"numfabric/internal/core"
 	"numfabric/internal/fluid"
 	"numfabric/internal/oracle"
+	"numfabric/internal/sim"
 	"numfabric/internal/stats"
 	"numfabric/internal/workload"
 )
@@ -123,6 +124,68 @@ func TestRunDynamicFluid(t *testing.T) {
 	}
 	if med := stats.Median(devs); med > 0.3 {
 		t.Errorf("median |deviation| from oracle ideal %.3f, want < 0.3", med)
+	}
+}
+
+// TestFluidPoolingGolden: on the paper's §6.3 pooling topology, the
+// fluid group steady state matches the oracle's exact resource-pooling
+// optimum within 2% for every source–destination pair.
+func TestFluidPoolingGolden(t *testing.T) {
+	cfg := DefaultPooling(4, true)
+	cfg.Measure = 100 * sim.Millisecond // enough epochs to converge
+
+	// The oracle's exact multipath optimum over the identical scenario
+	// (same seed → same permutation pairs and spine hashes).
+	topo := NewFluidTopology(cfg.Topo)
+	pathsByPair := poolingPairs(topo, cfg, sim.NewRNG(cfg.Seed))
+	p := core.NewProblem(topo.Net.Capacities())
+	groupOf := make([]int, len(pathsByPair))
+	for pi, paths := range pathsByPair {
+		groupOf[pi] = p.AddAggregate(core.ProportionalFair())
+		for _, links := range paths {
+			p.AddSubflow(groupOf[pi], links)
+		}
+	}
+	sol := oracle.Solve(p, oracle.SolveOptions{MaxIter: 50000})
+	if !sol.Converged {
+		t.Fatal("oracle did not converge")
+	}
+	want := make([]float64, len(pathsByPair))
+	for i, f := range p.Flows {
+		for pi, g := range groupOf {
+			if f.Group == g {
+				want[pi] += sol.Rates[i]
+			}
+		}
+	}
+
+	res := RunPoolingFluid(cfg)
+	if len(res.FlowThroughputs) != len(want) {
+		t.Fatalf("got %d pair throughputs, want %d", len(res.FlowThroughputs), len(want))
+	}
+	for pi, got := range res.FlowThroughputs {
+		if math.Abs(got-want[pi])/want[pi] > 0.02 {
+			t.Errorf("pair %d: fluid %.4g oracle %.4g (>2%% off)", pi, got, want[pi])
+		}
+	}
+}
+
+// TestRunPoolingWithDispatch: pooling on the fluid engine recovers the
+// stranded capacity just as the packet engine does — pooled total
+// throughput near optimal and well above the unpooled run's.
+func TestRunPoolingWithDispatch(t *testing.T) {
+	pooled := RunPoolingWith(EngineFluid, DefaultPooling(4, true))
+	unpooled := RunPoolingWith(EngineFluid, DefaultPooling(4, false))
+	if got := pooled.TotalThroughputPct(); got < 90 {
+		t.Errorf("pooled total %.1f%% of optimal, want ≥ 90%%", got)
+	}
+	if pooled.TotalThroughputPct() < unpooled.TotalThroughputPct() {
+		t.Errorf("pooling reduced throughput: %.1f%% < %.1f%%",
+			pooled.TotalThroughputPct(), unpooled.TotalThroughputPct())
+	}
+	if pooled.JainIndex() < unpooled.JainIndex() {
+		t.Errorf("pooling reduced fairness: %.3f < %.3f",
+			pooled.JainIndex(), unpooled.JainIndex())
 	}
 }
 

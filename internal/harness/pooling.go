@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"numfabric/internal/core"
+	"numfabric/internal/fluid"
 	"numfabric/internal/netsim"
 	"numfabric/internal/sim"
 	"numfabric/internal/stats"
@@ -98,6 +99,188 @@ func (r PoolingResult) JainIndex() float64 {
 		return 0
 	}
 	return sum * sum / (n * sq)
+}
+
+// poolingPairs draws the §6.3 scenario deterministically: permutation
+// source–destination pairs, each with cfg.Subflows spine picks, and
+// returns every pair's subflow paths in fluid link-ID form. The RNG
+// draw order mirrors RunPooling's, so both engines play the same
+// hash assignment for a given seed.
+func poolingPairs(topo *Topology, cfg PoolingConfig, rng *sim.RNG) [][][]int {
+	pairs := workload.Permutation(len(topo.Hosts), rng)
+	paths := make([][][]int, len(pairs))
+	for pi, pr := range pairs {
+		for s := 0; s < cfg.Subflows; s++ {
+			spine := rng.Intn(cfg.Topo.Spines)
+			fwd, _ := topo.Route(pr[0], pr[1], spine)
+			paths[pi] = append(paths[pi], PathLinkIDs(fwd))
+		}
+	}
+	return paths
+}
+
+// RunPoolingFluid is the fluid-engine counterpart of RunPooling: the
+// identical permutation scenario (same seed, same subflow spine
+// hashes) with each pair's subflows either pooled into one
+// fluid.Group under a proportional-fair utility of the aggregate rate
+// (Pooling), or run as independent proportional-fair flows. Pair
+// throughputs are the allocator's exact steady rates (no EWMA meter).
+func RunPoolingFluid(cfg PoolingConfig) PoolingResult {
+	topo := NewFluidTopology(cfg.Topo)
+	rng := sim.NewRNG(cfg.Seed)
+	pathsByPair := poolingPairs(topo, cfg, rng)
+	scheme := DefaultConfig(NUMFabric, cfg.Topo)
+	feng := fluid.NewEngine(FluidNetwork(topo), fluid.Config{
+		Epoch:     FluidEpochFor(scheme),
+		Allocator: FluidAllocatorFor(scheme),
+	})
+
+	groups := make([]*fluid.Group, len(pathsByPair))
+	subflows := make([][]*fluid.Flow, len(pathsByPair))
+	for pi, paths := range pathsByPair {
+		if cfg.Pooling {
+			groups[pi] = feng.AddGroup(paths, core.ProportionalFair(), 0, 0)
+			continue
+		}
+		for _, links := range paths {
+			subflows[pi] = append(subflows[pi], feng.AddFlow(links, core.ProportionalFair(), 0, 0))
+		}
+	}
+	feng.Run(cfg.Measure.Seconds())
+
+	res := PoolingResult{Optimal: cfg.Topo.HostLink.Float()}
+	for pi := range pathsByPair {
+		total := 0.0
+		if cfg.Pooling {
+			total = groups[pi].Rate()
+		} else {
+			for _, f := range subflows[pi] {
+				total += f.Rate
+			}
+		}
+		res.FlowThroughputs = append(res.FlowThroughputs, total)
+	}
+	return res
+}
+
+// RunPoolingWith dispatches the resource-pooling experiment to the
+// chosen engine.
+func RunPoolingWith(eng Engine, cfg PoolingConfig) PoolingResult {
+	if eng == EngineFluid {
+		return RunPoolingFluid(cfg)
+	}
+	return RunPooling(cfg)
+}
+
+// FatTreePoolingConfig parameterizes the fluid-only fat-tree
+// resource-pooling scenario: Groups multipath aggregates on a k-ary
+// fat-tree, each pooling Subflows ECMP paths between an inter-pod
+// host pair under one proportional-fair utility of the aggregate
+// rate. Sources cycle through the hosts and destinations sit half the
+// fabric away, so every host carries Groups/hosts aggregates and the
+// pooled optimum is an exactly uniform split of the host links — at
+// scales (tens of thousands of subflows) two to three orders of
+// magnitude beyond the packet path's reach.
+type FatTreePoolingConfig struct {
+	// K is the fat-tree arity (even, ≥ 4 for multipath).
+	K int
+	// LinkRate is every link's capacity in bits/second.
+	LinkRate float64
+	// Groups is the number of multipath aggregates.
+	Groups int
+	// Subflows is the ECMP path count pooled per group (≤ (K/2)²).
+	Subflows int
+	// Pooling selects one utility over each group's total rate; false
+	// runs every subflow as an independent proportional-fair flow.
+	Pooling bool
+	// Epochs is how many allocation epochs to run.
+	Epochs int
+	// Seed drives the ECMP path sampling.
+	Seed uint64
+}
+
+// DefaultFatTreePooling returns a ≥10k-subflow scenario: 1280 groups
+// × 8 ECMP subflows on a k=8 fat-tree (128 hosts, 768 directed
+// links).
+func DefaultFatTreePooling(pooling bool) FatTreePoolingConfig {
+	return FatTreePoolingConfig{
+		K:        8,
+		LinkRate: 10e9,
+		Groups:   1280,
+		Subflows: 8,
+		Pooling:  pooling,
+		Epochs:   300,
+		Seed:     1,
+	}
+}
+
+// RunFatTreePooling executes the fluid fat-tree resource-pooling
+// scenario under xWI dynamics and reports per-group throughputs. The
+// result's Optimal is the uniform pooled optimum hosts·rate/groups
+// (the fabric has full bisection bandwidth, so host access links are
+// the only bottleneck), making TotalThroughputPct the fraction of the
+// fabric-wide bound realized.
+func RunFatTreePooling(cfg FatTreePoolingConfig) PoolingResult {
+	ft := fluid.NewFatTree(cfg.K, cfg.LinkRate)
+	rng := sim.NewRNG(cfg.Seed)
+	hosts := ft.Hosts()
+	scheme := DefaultConfig(NUMFabric, ScaledTopology())
+	feng := fluid.NewEngine(ft.Net, fluid.Config{
+		Allocator: FluidAllocatorFor(scheme),
+	})
+
+	groups := make([]*fluid.Group, cfg.Groups)
+	subflows := make([][]*fluid.Flow, cfg.Groups)
+	for gi := 0; gi < cfg.Groups; gi++ {
+		src := gi % hosts
+		dst := (src + hosts/2) % hosts
+		paths := samplePaths(ft, src, dst, cfg.Subflows, rng)
+		if cfg.Pooling {
+			groups[gi] = feng.AddGroup(paths, core.ProportionalFair(), 0, 0)
+			continue
+		}
+		for _, links := range paths {
+			subflows[gi] = append(subflows[gi], feng.AddFlow(links, core.ProportionalFair(), 0, 0))
+		}
+	}
+	for e := 0; e < cfg.Epochs; e++ {
+		feng.Step()
+	}
+
+	res := PoolingResult{Optimal: cfg.LinkRate * float64(hosts) / float64(cfg.Groups)}
+	for gi := 0; gi < cfg.Groups; gi++ {
+		total := 0.0
+		if cfg.Pooling {
+			total = groups[gi].Rate()
+		} else {
+			for _, f := range subflows[gi] {
+				total += f.Rate
+			}
+		}
+		res.FlowThroughputs = append(res.FlowThroughputs, total)
+	}
+	return res
+}
+
+// samplePaths draws n distinct ECMP paths between src and dst (all of
+// them when n exceeds the path-set size) via a partial Fisher–Yates
+// shuffle of the route choices.
+func samplePaths(ft *fluid.FatTree, src, dst, n int, rng *sim.RNG) [][]int {
+	count := ft.PathCount(src, dst)
+	if n > count {
+		n = count
+	}
+	choice := make([]int, count)
+	for i := range choice {
+		choice[i] = i
+	}
+	paths := make([][]int, n)
+	for j := 0; j < n; j++ {
+		k := j + rng.Intn(count-j)
+		choice[j], choice[k] = choice[k], choice[j]
+		paths[j] = ft.Route(src, dst, choice[j])
+	}
+	return paths
 }
 
 // RunPooling executes the resource-pooling experiment under NUMFabric.

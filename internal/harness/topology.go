@@ -1,6 +1,8 @@
 // Package harness assembles full experiments: topologies, scheme
 // wiring, workload playback, convergence measurement, and the
-// per-figure experiment drivers of §6.
+// per-figure experiment drivers of §6. Experiment drivers come in
+// packet- and fluid-engine variants, dispatched through Engine
+// (RunDynamicWith, RunSemiDynamicWith, RunPoolingWith).
 package harness
 
 import (

@@ -5,7 +5,8 @@ package transport
 // of the subflows' total rate (Table 1, row 4); each subflow's Swift
 // weight is the aggregate weight implied by its own path price scaled
 // by the subflow's share of the aggregate throughput — the paper's
-// "intuitive heuristic".
+// "intuitive heuristic". The fluid engine's counterpart is
+// fluid.Group, which runs the same heuristic at flow granularity.
 type Aggregate struct {
 	senders []*NUMFabricSender
 }

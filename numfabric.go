@@ -14,8 +14,10 @@
 //     allocators — water-filling, xWI dynamics, DGD dynamics — and
 //     simulates the same scenarios two to three orders of magnitude
 //     faster than the packet path, reaching k-ary fat-trees and
-//     ≥50k-flow workloads (select it with RunDynamicWith/
-//     RunSemiDynamicWith or cmd/numfabric's -engine fluid flag);
+//     ≥50k-flow workloads, with multipath aggregate flow groups
+//     (fluid.Group) for resource pooling at ≥10k-subflow scale
+//     (select it with RunDynamicWith/RunSemiDynamicWith/
+//     RunPoolingWith or cmd/numfabric's -engine fluid flag);
 //   - the utility-function families of the paper's Table 1
 //     (α-fairness, FCT minimization, resource pooling, BwE bandwidth
 //     functions);
@@ -325,8 +327,35 @@ func DefaultPooling(subflows int, pooling bool) PoolingConfig {
 	return harness.DefaultPooling(subflows, pooling)
 }
 
-// RunPooling executes the resource-pooling experiment.
+// RunPooling executes the resource-pooling experiment on the packet
+// engine.
 func RunPooling(cfg PoolingConfig) PoolingResult { return harness.RunPooling(cfg) }
+
+// RunPoolingWith runs the resource-pooling experiment on the chosen
+// engine; EngineFluid plays the identical scenario through fluid
+// multipath aggregate groups (fluid.Group), orders of magnitude
+// faster.
+func RunPoolingWith(e EngineType, cfg PoolingConfig) PoolingResult {
+	return harness.RunPoolingWith(e, cfg)
+}
+
+// FatTreePoolingConfig configures the fluid-only fat-tree
+// resource-pooling scenario: multipath aggregates pooling ECMP
+// subflows on a k-ary fat-tree, at subflow counts (≥10k) far beyond
+// the packet engine's reach.
+type FatTreePoolingConfig = harness.FatTreePoolingConfig
+
+// DefaultFatTreePooling returns the ≥10k-subflow fat-tree pooling
+// scenario (1280 groups × 8 ECMP subflows on a k=8 fat-tree).
+func DefaultFatTreePooling(pooling bool) FatTreePoolingConfig {
+	return harness.DefaultFatTreePooling(pooling)
+}
+
+// RunFatTreePooling executes the fat-tree pooling scenario on the
+// fluid engine.
+func RunFatTreePooling(cfg FatTreePoolingConfig) PoolingResult {
+	return harness.RunFatTreePooling(cfg)
+}
 
 // BWFPoint is one Figure 9 data point (achieved vs BwE-expected
 // allocation at one capacity).
