@@ -10,7 +10,6 @@ import (
 	"numfabric/internal/sim"
 	"numfabric/internal/stats"
 	"numfabric/internal/trace"
-	"numfabric/internal/workload"
 )
 
 // runFatTree is the large-scale fluid-only experiment: a k-ary
@@ -28,14 +27,7 @@ func runFatTree(full bool, seed uint64) {
 	fmt.Printf("k=%d fat-tree: %d hosts, %d directed links, %d flows (websearch, load 0.5)\n",
 		k, ft.Hosts(), ft.Net.Links(), nflows)
 
-	arrivals := workload.Poisson(workload.PoissonConfig{
-		Hosts:    ft.Hosts(),
-		HostLink: sim.BitRate(linkRate),
-		Load:     0.5,
-		CDF:      workload.WebSearch(),
-		Duration: sim.Duration(sim.Forever / 2),
-		MaxFlows: nflows,
-	}, rng)
+	arrivals, paths := harness.FatTreeWebSearch(ft, 0.5, nflows, rng)
 
 	// FCT-oriented scale run: xWI dynamics on the default 100 µs epoch
 	// (convergence experiments use the scheme's 30 µs price cadence;
@@ -49,8 +41,7 @@ func runFatTree(full bool, seed uint64) {
 	var last sim.Time
 	for i, a := range arrivals {
 		last = a.At
-		path := ft.Route(a.Src, a.Dst, rng.Intn(k*k/4))
-		flows[i] = eng.AddFlow(path, core.ProportionalFair(), a.Size, a.At.Seconds())
+		flows[i] = eng.AddFlow(paths[i], core.ProportionalFair(), a.Size, a.At.Seconds())
 	}
 
 	wall := time.Now()

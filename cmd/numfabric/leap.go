@@ -1,0 +1,62 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"numfabric/internal/core"
+	"numfabric/internal/fluid"
+	"numfabric/internal/harness"
+	"numfabric/internal/leap"
+	"numfabric/internal/sim"
+	"numfabric/internal/stats"
+	"numfabric/internal/trace"
+)
+
+// runLeapFCT is the event-driven FCT experiment: a web-search Poisson
+// workload on a k=8 fat-tree played through the leap engine under the
+// NUMFabric scheme's xWI dynamics (run to the fixed point at every
+// arrival/departure) with the §6.3 FCT-minimizing utility — the same
+// objective examples/fctmin demos at packet level — swept across load
+// levels. It reports each load's
+// normalized FCT distribution (FCT over the flow's line-rate wire
+// time) plus the engine telemetry that explains the speed: events and
+// allocations, not simulated epochs, bound the work. -scale full runs
+// the million-flow headline at one load; BenchmarkLeapFCT holds the
+// rigorous same-accuracy comparison against the epoch engine.
+func runLeapFCT(full bool, seed uint64) {
+	const k, linkRate = 8, 10e9
+	nflows, loads := 10000, []float64{0.05, 0.15, 0.3}
+	if full {
+		nflows, loads = 1000000, []float64{0.05}
+	}
+	cfg := harness.DefaultConfig(harness.NUMFabric, harness.ScaledTopology())
+	ft := fluid.NewFatTree(k, linkRate)
+	fmt.Printf("leap-engine FCT sweep: k=%d fat-tree (%d hosts), websearch, %d flows per load\n",
+		k, ft.Hosts(), nflows)
+	fmt.Printf("%-6s %10s %10s %10s %12s %10s %10s\n",
+		"load", "medNorm", "p95Norm", "flows/s", "events", "allocs", "wall")
+	tab := trace.NewTable("load", "median_norm_fct", "p95_norm_fct", "flows_per_s", "events", "allocs")
+	for _, load := range loads {
+		arrivals, paths := harness.FatTreeWebSearch(ft, load, nflows, sim.NewRNG(seed))
+		eng := leap.NewEngine(ft.Net, leap.Config{Allocator: harness.LeapAllocatorFor(cfg)})
+		for i, a := range arrivals {
+			eng.AddFlow(paths[i], core.FCTMin(a.Size, 0.125), a.Size, a.At.Seconds())
+		}
+		wall := time.Now()
+		eng.Run(math.Inf(1))
+		elapsed := time.Since(wall)
+
+		var norm []float64
+		for _, f := range eng.Finished() {
+			norm = append(norm, f.FCT()/(float64(f.SizeBytes)*8/linkRate))
+		}
+		med, p95 := stats.Median(norm), stats.Percentile(norm, 0.95)
+		rate := float64(len(norm)) / elapsed.Seconds()
+		fmt.Printf("%-6.2f %10.2f %10.2f %10.0f %12d %10d %10v\n",
+			load, med, p95, rate, eng.Events(), eng.Allocs(), elapsed.Round(time.Millisecond))
+		_ = tab.Append(load, med, p95, rate, float64(eng.Events()), float64(eng.Allocs()))
+	}
+	writeCSV("leapfct.csv", tab)
+}

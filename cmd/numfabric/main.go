@@ -7,18 +7,23 @@
 //
 // Experiments: table1, table2, fig2, fig4a, fig4bc, fig5a, fig5b,
 // fig6a, fig6b, fig6c, fig7, fig8, fig9, fig10, fattree, fluidsweep,
-// fluidpooling, all.
+// fluidpooling, leapfct, all.
 //
 // -engine selects the execution engine for the convergence (fig4a),
-// dynamic-workload (fig5a/fig5b), and resource-pooling (fig8)
-// experiments: "packet" is the faithful packet-level discrete-event
-// simulator; "fluid" runs the same scenarios on the flow-granularity
-// fluid engine (internal/fluid), orders of magnitude faster. Three
-// experiments are fluid-only — they run regimes the packet engine
-// cannot reach: fattree (a k=8 fat-tree serving ≥50k flows),
-// fluidsweep (a multi-seed convergence sweep fanned across
-// goroutines), and fluidpooling (multipath aggregate groups pooling
-// ≥10k ECMP subflows on a fat-tree).
+// dynamic-workload (fig5a/fig5b), FCT (fig7), and resource-pooling
+// (fig8) experiments: "packet" is the faithful packet-level
+// discrete-event simulator; "fluid" runs the same scenarios on the
+// flow-granularity fluid engine (internal/fluid), orders of magnitude
+// faster; "leap" runs them event-driven (internal/leap) — time jumps
+// straight to the next arrival or completion, the only way to reach
+// million-flow dynamic workloads. An unknown -engine value is an
+// error that lists the valid engines. Four experiments are
+// fluid/leap-only — they run regimes the packet engine cannot reach:
+// fattree (a k=8 fat-tree serving ≥50k flows), fluidsweep (a
+// multi-seed convergence sweep fanned across goroutines),
+// fluidpooling (multipath aggregate groups pooling ≥10k ECMP subflows
+// on a fat-tree), and leapfct (the event-driven FCT sweep; -scale
+// full runs a million-flow workload).
 package main
 
 import (
@@ -63,11 +68,11 @@ func writeCSV(name string, t *trace.Table) {
 }
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment id (table1, table2, fig2, fig4a, fig4bc, fig5a, fig5b, fig6a, fig6b, fig6c, fig7, fig8, fig9, fig10, fattree, fluidsweep, fluidpooling, all)")
+	exp := flag.String("experiment", "all", "experiment id (table1, table2, fig2, fig4a, fig4bc, fig5a, fig5b, fig6a, fig6b, fig6c, fig7, fig8, fig9, fig10, fattree, fluidsweep, fluidpooling, leapfct, all)")
 	scale := flag.String("scale", "scaled", "\"scaled\" (32 hosts, fast) or \"full\" (paper scale, slow)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	out := flag.String("out", "", "directory for CSV output (optional)")
-	eng := flag.String("engine", "packet", "\"packet\" (discrete-event simulator) or \"fluid\" (flow-level fast path) for fig4a/fig5a/fig5b/fig8")
+	eng := flag.String("engine", "packet", "\"packet\" (discrete-event simulator), \"fluid\" (flow-level fast path), or \"leap\" (event-driven fast path) for fig4a/fig5a/fig5b/fig7/fig8")
 	flag.Parse()
 	outDir = *out
 	var err error
@@ -94,7 +99,7 @@ func main() {
 		"fig4a": true, "fig4bc": true, "fig5a": true, "fig5b": true,
 		"fig6a": true, "fig6b": true, "fig6c": true, "fig7": true,
 		"fig8": true, "fig9": true, "fig10": true, "fattree": true,
-		"fluidsweep": true, "fluidpooling": true, "all": true}
+		"fluidsweep": true, "fluidpooling": true, "leapfct": true, "all": true}
 	if !known[*exp] {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -117,6 +122,7 @@ func main() {
 	run("fattree", runFatTree)
 	run("fluidsweep", runFluidSweep)
 	run("fluidpooling", runFluidPooling)
+	run("leapfct", runLeapFCT)
 }
 
 func semiCfg(s harness.Scheme, full bool, seed uint64) harness.SemiDynamicConfig {
@@ -302,7 +308,7 @@ func runFig6c(full bool, seed uint64) {
 }
 
 func runFig7(full bool, seed uint64) {
-	fmt.Println("FCT vs pFabric on the web-search workload (Figure 7):")
+	fmt.Printf("FCT vs pFabric on the web-search workload (Figure 7, %s engine):\n", engine)
 	cfg := harness.DefaultFCT()
 	cfg.Seed = seed
 	if full {
@@ -312,7 +318,7 @@ func runFig7(full bool, seed uint64) {
 	fmt.Printf("%-6s %-10s %10s %10s %10s\n", "load", "scheme", "meanNorm", "medianNorm", "p95Norm")
 	for _, load := range cfg.Loads {
 		for _, s := range []harness.Scheme{harness.NUMFabric, harness.PFabric} {
-			pt := harness.RunFCT(cfg, s, load)
+			pt := harness.RunFCTWith(engine, cfg, s, load)
 			fmt.Printf("%-6.1f %-10s %10.2f %10.2f %10.2f\n",
 				load, pt.Scheme, pt.MeanNormFCT, pt.MedianNormFCT, pt.P95NormFCT)
 		}

@@ -3,6 +3,15 @@
 // times in the presence of a large background flow — the behaviour
 // pFabric achieves with special-purpose switches, expressed here as
 // just another utility function.
+//
+// This demo runs a handful of flows on the packet simulator. For FCT
+// sweeps at scale — many loads, thousands to millions of flows — use
+// the experiment CLI with the event-driven engine, which plays the
+// same FCT-minimizing utilities through flow-level simulation orders
+// of magnitude faster:
+//
+//	go run ./cmd/numfabric -experiment fig7 -engine leap
+//	go run ./cmd/numfabric -experiment leapfct [-scale full]
 package main
 
 import (

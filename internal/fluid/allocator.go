@@ -180,11 +180,20 @@ type XWI struct {
 	// IterPerEpoch is how many price iterations run per epoch
 	// (default 1).
 	IterPerEpoch int
+	// Tol, when positive, stops an Allocate call early once no rate
+	// moved by more than Tol × the largest link capacity between
+	// iterations — the fixed point, to working precision. The leap
+	// engine sets it so a warm-started event converges in a handful
+	// of iterations instead of always burning IterPerEpoch; zero (the
+	// default) keeps the fixed iteration count, which the epoch
+	// engine's one-iteration-per-epoch dynamics rely on.
+	Tol float64
 
 	price []float64
 	s     scratch
 	ws    oracle.MaxMinWorkspace
 	x     []float64
+	xprev []float64
 	load  []float64
 	res   []float64
 	has   []bool
@@ -247,6 +256,11 @@ func (a *XWI) Allocate(net *Network, flows []*Flow, rates []float64) {
 	}
 	load, minRes, hasFlow := a.load[:nl], a.res[:nl], a.has[:nl]
 	groups := a.s.collectGroups(flows)
+	if a.Tol > 0 {
+		if cap(a.xprev) < nf {
+			a.xprev = make([]float64, nf)
+		}
+	}
 	var x []float64
 	for it := 0; it < iters; it++ {
 		for i, f := range flows {
@@ -263,6 +277,21 @@ func (a *XWI) Allocate(net *Network, flows []*Flow, rates []float64) {
 		a.x = x
 		if len(groups) > 0 {
 			groupTotals(groups, flows, x)
+		}
+		if a.Tol > 0 {
+			xprev := a.xprev[:nf]
+			maxMove := 0.0
+			for i, xi := range x {
+				if d := math.Abs(xi - xprev[i]); d > maxMove {
+					maxMove = d
+				}
+				xprev[i] = xi
+			}
+			// it == 0 may start from a stale xprev; never trust the
+			// first iteration's delta alone.
+			if it > 0 && maxMove <= a.Tol*maxCap {
+				break
+			}
 		}
 
 		for l := 0; l < nl; l++ {
@@ -382,9 +411,16 @@ type DGD struct {
 	// (default 1). DGD needs far more iterations than xWI — that
 	// slowness is the paper's point.
 	IterPerEpoch int
+	// Tol, when positive, stops an Allocate call early once no rate
+	// moved by more than Tol × the largest link capacity between
+	// gradient steps — the same early-exit XWI offers, for the leap
+	// engine's converge-per-event calls. Zero (the default) keeps the
+	// fixed step count the epoch dynamics rely on.
+	Tol float64
 
 	price []float64
 	x     []float64
+	xprev []float64
 	load  []float64
 	q     []float64
 	s     scratch
@@ -438,6 +474,11 @@ func (a *DGD) Allocate(net *Network, flows []*Flow, rates []float64) {
 	}
 	q := a.q[:nf]
 	groups := a.s.collectGroups(flows)
+	if a.Tol > 0 {
+		if cap(a.xprev) < nf {
+			a.xprev = make([]float64, nf)
+		}
+	}
 	for it := 0; it < iters; it++ {
 		for i, f := range flows {
 			sum := 0.0
@@ -464,6 +505,21 @@ func (a *DGD) Allocate(net *Network, flows []*Flow, rates []float64) {
 			price[l] += step * (load[l] - net.Capacity[l])
 			if price[l] < 0 {
 				price[l] = 0
+			}
+		}
+		if a.Tol > 0 {
+			xprev := a.xprev[:nf]
+			maxMove := 0.0
+			for i, xi := range x {
+				if d := math.Abs(xi - xprev[i]); d > maxMove {
+					maxMove = d
+				}
+				xprev[i] = xi
+			}
+			// it == 0 may compare against a stale xprev; never trust
+			// the first step's delta alone.
+			if it > 0 && maxMove <= a.Tol*maxCap {
+				break
 			}
 		}
 	}

@@ -110,17 +110,7 @@ func (e *Engine) OnEpoch(fn func(now float64, active []*Flow)) {
 // at ≤ Now admits it on the next Step), with utility u and payload
 // sizeBytes (0 = unbounded). It returns the Flow for inspection.
 func (e *Engine) AddFlow(links []int, u core.Utility, sizeBytes int64, at float64) *Flow {
-	f := &Flow{
-		ID:        e.nextID,
-		Links:     append([]int(nil), links...),
-		U:         u,
-		Weight:    1,
-		SizeBytes: sizeBytes,
-		Arrive:    at,
-		Remaining: float64(sizeBytes),
-		Finish:    math.NaN(),
-		pos:       -1,
-	}
+	f := NewFlow(e.nextID, links, u, sizeBytes, at)
 	e.nextID++
 	e.pending = append(e.pending, f)
 	e.unsorted = true
@@ -133,22 +123,10 @@ func (e *Engine) AddFlow(links []int, u core.Utility, sizeBytes int64, at float6
 // sizeBytes (0 = unbounded). It returns the Group for inspection; the
 // member flows are in Group.Members, path order.
 func (e *Engine) AddGroup(paths [][]int, u core.Utility, sizeBytes int64, at float64) *Group {
-	g := &Group{
-		ID:        e.nextGroupID,
-		U:         u,
-		Weight:    1,
-		SizeBytes: sizeBytes,
-		Arrive:    at,
-		Remaining: float64(sizeBytes),
-		Finish:    math.NaN(),
-		pos:       -1,
-	}
+	g := NewGroup(e.nextGroupID, u, sizeBytes, at)
 	e.nextGroupID++
 	for _, links := range paths {
-		f := e.AddFlow(links, u, 0, at)
-		f.Group = g
-		f.share = 1 / float64(len(paths))
-		g.Members = append(g.Members, f)
+		g.AddMember(e.AddFlow(links, u, 0, at))
 	}
 	return g
 }

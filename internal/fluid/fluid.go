@@ -90,6 +90,24 @@ type Flow struct {
 	pos int
 }
 
+// NewFlow constructs a flow outside an Engine, for alternative
+// drivers (internal/leap's event-driven engine): the same
+// initialization AddFlow performs, with ID assignment left to the
+// caller. The flow is ready to hand to any Allocator.
+func NewFlow(id int, links []int, u core.Utility, sizeBytes int64, at float64) *Flow {
+	return &Flow{
+		ID:        id,
+		Links:     append([]int(nil), links...),
+		U:         u,
+		Weight:    1,
+		SizeBytes: sizeBytes,
+		Arrive:    at,
+		Remaining: float64(sizeBytes),
+		Finish:    math.NaN(),
+		pos:       -1,
+	}
+}
+
 // Done reports whether the flow has completed.
 func (f *Flow) Done() bool { return !math.IsNaN(f.Finish) }
 

@@ -57,6 +57,43 @@ type Group struct {
 	scan    float64
 }
 
+// NewGroup constructs a group outside an Engine, for alternative
+// drivers (internal/leap's event-driven engine): the same
+// initialization AddGroup performs, with ID assignment left to the
+// caller. Attach member subflows with AddMember.
+func NewGroup(id int, u core.Utility, sizeBytes int64, at float64) *Group {
+	return &Group{
+		ID:        id,
+		U:         u,
+		Weight:    1,
+		SizeBytes: sizeBytes,
+		Arrive:    at,
+		Remaining: float64(sizeBytes),
+		Finish:    math.NaN(),
+		pos:       -1,
+	}
+}
+
+// AddMember attaches f as a member subflow: f's utility aliases the
+// group's, any payload f carries moves into the group's shared
+// SizeBytes/Remaining (a member's own stay zero — members drain only
+// through the group), and the members' initial throughput shares are
+// re-equalized, exactly as AddGroup seeds them.
+func (g *Group) AddMember(f *Flow) {
+	f.Group = g
+	f.U = g.U
+	if f.SizeBytes != 0 {
+		g.SizeBytes += f.SizeBytes
+		g.Remaining += f.Remaining
+		f.SizeBytes = 0
+		f.Remaining = 0
+	}
+	g.Members = append(g.Members, f)
+	for _, m := range g.Members {
+		m.share = 1 / float64(len(g.Members))
+	}
+}
+
 // Rate returns the group's total allocated rate in bits/second (the
 // sum over members; stopped members contribute zero).
 func (g *Group) Rate() float64 {

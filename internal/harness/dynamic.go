@@ -36,7 +36,13 @@ type DynamicConfig struct {
 	// (IdealFCT fields become NaN); Figure 7 normalizes by the
 	// line-rate FCT instead and does not need it.
 	SkipFluidIdeal bool
-	Seed           uint64
+	// FluidEpoch overrides the fluid epoch engine's allocation period
+	// (default: the scheme's control-loop cadence, FluidEpochFor).
+	// Accuracy studies and the leap-vs-epoch comparisons shrink it so
+	// epoch quantization stops dominating short-flow FCTs; the leap
+	// engine ignores it (event-driven time needs no epoch).
+	FluidEpoch sim.Duration
+	Seed       uint64
 }
 
 // DefaultDynamic returns a scaled dynamic-workload config.
@@ -136,16 +142,12 @@ func lineRateFCT(size int64, topo TopologyConfig) float64 {
 	return float64(wire)*8/topo.HostLink.Float() + topo.BaseRTT().Seconds()
 }
 
-// RunDynamic plays a Poisson workload through the packet simulator
-// under cfg.Scheme and pairs every finished flow with its fluid-Oracle
-// ideal FCT.
-func RunDynamic(cfg DynamicConfig) DynamicResult {
-	eng := sim.NewEngine()
-	net := netsim.NewNetwork(eng)
-	net.QueueFactory = cfg.Scheme.QueueFactory()
-	topo := NewTopology(net, cfg.Topo)
+// dynamicWorkload draws cfg's seeded arrival schedule, ECMP spine
+// picks, and per-flow utility mapping — the shared randomness of every
+// engine's dynamic driver, so the packet, fluid, and leap engines play
+// the byte-identical workload for a given seed.
+func dynamicWorkload(cfg DynamicConfig, topo *Topology) ([]workload.Arrival, []int, func(int64) core.Utility) {
 	rng := sim.NewRNG(cfg.Seed)
-
 	arrivals := workload.Poisson(workload.PoissonConfig{
 		Hosts:    len(topo.Hosts),
 		HostLink: cfg.Topo.HostLink,
@@ -158,11 +160,35 @@ func RunDynamic(cfg DynamicConfig) DynamicResult {
 	for i := range spines {
 		spines[i] = rng.Intn(cfg.Topo.Spines)
 	}
-
 	utilityFor := cfg.UtilityFor
 	if utilityFor == nil {
 		utilityFor = func(int64) core.Utility { return core.NewAlphaFair(cfg.Alpha) }
 	}
+	return arrivals, spines, utilityFor
+}
+
+// dynamicIdeals computes (or, with SkipFluidIdeal, stubs out) the
+// per-arrival Oracle ideal FCTs.
+func dynamicIdeals(cfg DynamicConfig, topo *Topology, arrivals []workload.Arrival, spines []int) []float64 {
+	if !cfg.SkipFluidIdeal {
+		return FluidIdealFCTs(cfg, topo, arrivals, spines)
+	}
+	ideal := make([]float64, len(arrivals))
+	for i := range ideal {
+		ideal[i] = math.NaN()
+	}
+	return ideal
+}
+
+// RunDynamic plays a Poisson workload through the packet simulator
+// under cfg.Scheme and pairs every finished flow with its fluid-Oracle
+// ideal FCT.
+func RunDynamic(cfg DynamicConfig) DynamicResult {
+	eng := sim.NewEngine()
+	net := netsim.NewNetwork(eng)
+	net.QueueFactory = cfg.Scheme.QueueFactory()
+	topo := NewTopology(net, cfg.Topo)
+	arrivals, spines, utilityFor := dynamicWorkload(cfg, topo)
 
 	expectedShare := cfg.Topo.HostLink.Float() / 3
 	cfg.Scheme.SetUtilityHint(utilityFor(int64(expectedShare/8)), expectedShare)
@@ -183,16 +209,7 @@ func RunDynamic(cfg DynamicConfig) DynamicResult {
 	}
 	eng.Run(lastArrival.Add(cfg.Drain))
 
-	var ideal []float64
-	if cfg.SkipFluidIdeal {
-		ideal = make([]float64, len(arrivals))
-		for i := range ideal {
-			ideal[i] = math.NaN()
-		}
-	} else {
-		ideal = FluidIdealFCTs(cfg, topo, arrivals, spines)
-	}
-
+	ideal := dynamicIdeals(cfg, topo, arrivals, spines)
 	res := DynamicResult{BDP: cfg.Topo.HostLink.Float() / 8 * cfg.Topo.BaseRTT().Seconds()}
 	for i, f := range flows {
 		if f == nil || !f.Done {

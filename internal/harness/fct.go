@@ -44,8 +44,17 @@ type FCTPoint struct {
 }
 
 // RunFCT executes the Figure 7 experiment for one scheme at one load
-// and returns the normalized-FCT statistics.
+// on the packet engine and returns the normalized-FCT statistics.
 func RunFCT(cfg FCTConfig, scheme Scheme, load float64) FCTPoint {
+	return RunFCTWith(EnginePacket, cfg, scheme, load)
+}
+
+// RunFCTWith runs the Figure 7 experiment on the chosen engine. The
+// FCT-minimization utility carries over unchanged (it is just another
+// utility to the fluid and leap allocators); the packet-transport
+// knobs (2× slowdown, full-BDP initial window) become the matching
+// control-loop cadence on the fluid engine and are moot for leap.
+func RunFCTWith(eng Engine, cfg FCTConfig, scheme Scheme, load float64) FCTPoint {
 	dc := DynamicConfig{
 		Topo:           cfg.Topo,
 		Scheme:         DefaultConfig(scheme, cfg.Topo),
@@ -69,7 +78,7 @@ func RunFCT(cfg FCTConfig, scheme Scheme, load float64) FCTPoint {
 			return core.FCTMin(size, cfg.Epsilon)
 		}
 	}
-	res := RunDynamic(dc)
+	res := RunDynamicWith(eng, dc)
 	norm := res.NormalizedFCTs(cfg.Topo)
 	return FCTPoint{
 		Load:          load,

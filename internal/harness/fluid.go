@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"numfabric/internal/core"
 	"numfabric/internal/fluid"
@@ -14,38 +15,39 @@ import (
 )
 
 // Engine selects the execution engine for an experiment: the
-// packet-level discrete-event simulator (faithful, slow) or the fluid
+// packet-level discrete-event simulator (faithful, slow), the fluid
 // flow-level engine (epoch-based rate dynamics, orders of magnitude
-// faster — the only way to reach fat-tree/100k-flow regimes).
+// faster — the way to reach fat-tree/100k-flow regimes), or the leap
+// event-driven engine (time jumps straight to the next arrival or
+// completion — the way to reach million-flow dynamic workloads).
 type Engine int
 
 // The available engines.
 const (
 	EnginePacket Engine = iota
 	EngineFluid
+	EngineLeap
 )
 
+// EngineNames lists every valid engine name, in enum order.
+var EngineNames = []string{"packet", "fluid", "leap"}
+
 func (e Engine) String() string {
-	switch e {
-	case EnginePacket:
-		return "packet"
-	case EngineFluid:
-		return "fluid"
-	default:
-		return fmt.Sprintf("Engine(%d)", int(e))
+	if e >= 0 && int(e) < len(EngineNames) {
+		return EngineNames[e]
 	}
+	return fmt.Sprintf("Engine(%d)", int(e))
 }
 
-// ParseEngine parses "packet" or "fluid".
+// ParseEngine parses an engine name ("packet", "fluid", or "leap").
 func ParseEngine(s string) (Engine, error) {
-	switch s {
-	case "packet":
-		return EnginePacket, nil
-	case "fluid":
-		return EngineFluid, nil
-	default:
-		return 0, fmt.Errorf("harness: unknown engine %q (want packet or fluid)", s)
+	for i, name := range EngineNames {
+		if s == name {
+			return Engine(i), nil
+		}
 	}
+	return 0, fmt.Errorf("harness: unknown engine %q (valid engines: %s)",
+		s, strings.Join(EngineNames, ", "))
 }
 
 // FluidNetwork adapts a built Topology to the fluid engine's network
@@ -104,72 +106,53 @@ func FluidEpochFor(c SchemeConfig) float64 {
 // RunDynamicWith dispatches the dynamic-workload experiment to the
 // chosen engine.
 func RunDynamicWith(eng Engine, cfg DynamicConfig) DynamicResult {
-	if eng == EngineFluid {
+	switch eng {
+	case EngineFluid:
 		return RunDynamicFluid(cfg)
+	case EngineLeap:
+		return RunDynamicLeap(cfg)
+	default:
+		return RunDynamic(cfg)
 	}
-	return RunDynamic(cfg)
 }
 
 // RunSemiDynamicWith dispatches the semi-dynamic convergence
-// experiment to the chosen engine.
+// experiment to the chosen engine. EngineLeap falls back to the fluid
+// epoch engine: the experiment measures the convergence transient over
+// simulated time, and leap — which by construction jumps each event to
+// its allocator's converged rates — has no transient to observe.
 func RunSemiDynamicWith(eng Engine, cfg SemiDynamicConfig) SemiDynamicResult {
-	if eng == EngineFluid {
+	if eng == EngineFluid || eng == EngineLeap {
 		return RunSemiDynamicFluid(cfg)
 	}
 	return RunSemiDynamic(cfg)
 }
 
-// RunDynamicFluid is the fluid-engine counterpart of RunDynamic: the
-// identical Poisson workload (same seed, same arrival schedule and
-// spine choices) played through the flow-level engine instead of the
-// packet simulator. Completion times get the topology's base RTT added
-// so they remain comparable with packet FCTs and the fluid-Oracle
-// ideals.
-func RunDynamicFluid(cfg DynamicConfig) DynamicResult {
-	topo := NewFluidTopology(cfg.Topo)
-	rng := sim.NewRNG(cfg.Seed)
+// flowEngine is the surface the dynamic driver needs from a flow-level
+// engine; the fluid epoch engine and the leap event-driven engine both
+// provide it.
+type flowEngine interface {
+	AddFlow(links []int, u core.Utility, sizeBytes int64, at float64) *fluid.Flow
+	Run(until float64)
+}
 
-	arrivals := workload.Poisson(workload.PoissonConfig{
-		Hosts:    len(topo.Hosts),
-		HostLink: cfg.Topo.HostLink,
-		Load:     cfg.Load,
-		CDF:      cfg.CDF,
-		Duration: sim.Duration(sim.Forever / 2),
-		MaxFlows: cfg.Flows,
-	}, rng)
-	spines := make([]int, len(arrivals))
-	for i := range spines {
-		spines[i] = rng.Intn(cfg.Topo.Spines)
-	}
-
-	utilityFor := cfg.UtilityFor
-	if utilityFor == nil {
-		utilityFor = func(int64) core.Utility { return core.NewAlphaFair(cfg.Alpha) }
-	}
-
-	feng := fluid.NewEngine(FluidNetwork(topo), fluid.Config{
-		Epoch:     FluidEpochFor(cfg.Scheme),
-		Allocator: FluidAllocatorFor(cfg.Scheme),
-	})
+// runDynamicFlowEngine plays cfg's seeded Poisson workload — the
+// byte-identical schedule every engine draws via dynamicWorkload —
+// through a flow-level engine and pairs the finished flows with their
+// Oracle ideals. Completion times get the topology's base RTT added so
+// they remain comparable with packet FCTs and the fluid-Oracle ideals.
+func runDynamicFlowEngine(cfg DynamicConfig, topo *Topology, eng flowEngine) DynamicResult {
+	arrivals, spines, utilityFor := dynamicWorkload(cfg, topo)
 	flows := make([]*fluid.Flow, len(arrivals))
 	var lastArrival sim.Time
 	for i, a := range arrivals {
 		lastArrival = a.At
 		fwd, _ := topo.Route(a.Src, a.Dst, spines[i])
-		flows[i] = feng.AddFlow(PathLinkIDs(fwd), utilityFor(a.Size), a.Size, a.At.Seconds())
+		flows[i] = eng.AddFlow(PathLinkIDs(fwd), utilityFor(a.Size), a.Size, a.At.Seconds())
 	}
-	feng.Run(lastArrival.Add(cfg.Drain).Seconds())
+	eng.Run(lastArrival.Add(cfg.Drain).Seconds())
 
-	var ideal []float64
-	if cfg.SkipFluidIdeal {
-		ideal = make([]float64, len(arrivals))
-		for i := range ideal {
-			ideal[i] = math.NaN()
-		}
-	} else {
-		ideal = FluidIdealFCTs(cfg, topo, arrivals, spines)
-	}
-
+	ideal := dynamicIdeals(cfg, topo, arrivals, spines)
 	d0 := cfg.Topo.BaseRTT().Seconds()
 	res := DynamicResult{BDP: cfg.Topo.HostLink.Float() / 8 * cfg.Topo.BaseRTT().Seconds()}
 	for i, f := range flows {
@@ -185,6 +168,22 @@ func RunDynamicFluid(cfg DynamicConfig) DynamicResult {
 		})
 	}
 	return res
+}
+
+// RunDynamicFluid is the fluid-engine counterpart of RunDynamic: the
+// identical Poisson workload (same seed, same arrival schedule and
+// spine choices) played through the flow-level epoch engine instead of
+// the packet simulator.
+func RunDynamicFluid(cfg DynamicConfig) DynamicResult {
+	topo := NewFluidTopology(cfg.Topo)
+	epoch := FluidEpochFor(cfg.Scheme)
+	if cfg.FluidEpoch > 0 {
+		epoch = cfg.FluidEpoch.Seconds()
+	}
+	return runDynamicFlowEngine(cfg, topo, fluid.NewEngine(FluidNetwork(topo), fluid.Config{
+		Epoch:     epoch,
+		Allocator: FluidAllocatorFor(cfg.Scheme),
+	}))
 }
 
 // RunSemiDynamicFluid is the fluid-engine counterpart of

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"numfabric/internal/core"
@@ -74,14 +75,27 @@ func TestFluidAllocatorDispatch(t *testing.T) {
 }
 
 func TestParseEngine(t *testing.T) {
-	for s, want := range map[string]Engine{"packet": EnginePacket, "fluid": EngineFluid} {
+	for s, want := range map[string]Engine{
+		"packet": EnginePacket, "fluid": EngineFluid, "leap": EngineLeap,
+	} {
 		got, err := ParseEngine(s)
 		if err != nil || got != want {
 			t.Errorf("ParseEngine(%q) = %v, %v", s, got, err)
 		}
+		if got.String() != s {
+			t.Errorf("Engine(%v).String() = %q, want %q", got, got.String(), s)
+		}
 	}
-	if _, err := ParseEngine("warp"); err == nil {
-		t.Error("ParseEngine should reject unknown engines")
+	_, err := ParseEngine("warp")
+	if err == nil {
+		t.Fatal("ParseEngine should reject unknown engines")
+	}
+	// The error must name every valid engine, so the CLI's rejection
+	// message tells the user what to type instead.
+	for _, name := range EngineNames {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list engine %q", err, name)
+		}
 	}
 }
 

@@ -1,0 +1,165 @@
+package harness
+
+import (
+	"math"
+
+	"numfabric/internal/core"
+	"numfabric/internal/fluid"
+	"numfabric/internal/leap"
+	"numfabric/internal/sim"
+	"numfabric/internal/workload"
+)
+
+// LeapAllocatorFor maps a scheme onto the allocator the event-driven
+// leap engine runs once per active-set change. Leap has no intra-event
+// epochs, so the dynamic allocators get enough internal iterations per
+// event to reach their fixed point (warm-started prices keep the
+// realized effort far lower after the first event): NUMFabric's xWI
+// converges in a few tens of iterations (the paper's headline), DGD
+// needs an order of magnitude more (the paper's baseline complaint),
+// and the stationary allocators — water-filling for the queue-level
+// schemes, the exact Oracle for RCP* — are already pure functions of
+// the active set.
+func LeapAllocatorFor(c SchemeConfig) fluid.Allocator {
+	switch c.Scheme {
+	case NUMFabric:
+		// Up to 48 iterations per event, with the tolerance early-exit
+		// (0.1% of the largest link capacity) cutting warm-started
+		// events to a handful.
+		return &fluid.XWI{Eta: c.NUMFabric.Eta, Beta: c.NUMFabric.Beta, IterPerEpoch: 48, Tol: 1e-3}
+	case DGD:
+		return &fluid.DGD{IterPerEpoch: 600, Tol: 1e-3}
+	case RCP:
+		return fluid.NewOracle()
+	default:
+		return fluid.NewWaterFill()
+	}
+}
+
+// FatTreeWebSearch draws the fat-tree scale experiments' shared
+// workload — a web-search Poisson schedule over ft's hosts plus one
+// random ECMP path pick per arrival, all from one seeded stream — so
+// the CLI experiments and the benchmarks play identical schedules.
+func FatTreeWebSearch(ft *fluid.FatTree, load float64, nflows int, rng *sim.RNG) ([]workload.Arrival, [][]int) {
+	arrivals := workload.Poisson(workload.PoissonConfig{
+		Hosts:    ft.Hosts(),
+		HostLink: sim.BitRate(ft.Rate),
+		Load:     load,
+		CDF:      workload.WebSearch(),
+		Duration: sim.Duration(sim.Forever / 2),
+		MaxFlows: nflows,
+	}, rng)
+	paths := make([][]int, len(arrivals))
+	for i, a := range arrivals {
+		paths[i] = ft.Route(a.Src, a.Dst, rng.Intn(ft.K*ft.K/4))
+	}
+	return arrivals, paths
+}
+
+// RunDynamicLeap is the event-driven counterpart of RunDynamicFluid:
+// the identical Poisson workload (same seed, same arrival schedule and
+// spine choices) played through the leap engine, which advances
+// straight from event to event instead of epoch by epoch.
+func RunDynamicLeap(cfg DynamicConfig) DynamicResult {
+	topo := NewFluidTopology(cfg.Topo)
+	return runDynamicFlowEngine(cfg, topo, leap.NewEngine(FluidNetwork(topo), leap.Config{
+		Allocator: LeapAllocatorFor(cfg.Scheme),
+	}))
+}
+
+// IncastConfig parameterizes the §6.1-style incast scenario: bursts of
+// Senders synchronized flows converging on one receiver host, the
+// worst-case arrival pattern for a transport's convergence (every
+// burst reshuffles every rate at one instant).
+type IncastConfig struct {
+	Topo   TopologyConfig
+	Scheme SchemeConfig
+	// Senders per burst (capped at hosts−1).
+	Senders int
+	// SizeBytes is each sender's payload.
+	SizeBytes int64
+	// Bursts is how many bursts arrive, Interval apart.
+	Bursts   int
+	Interval sim.Duration
+	Seed     uint64
+}
+
+// DefaultIncast returns a scaled incast scenario: 16 senders × 64 KB
+// per burst into host 0, bursts every 2 ms (comfortably longer than a
+// burst's ~840 µs line-rate drain, so bursts do not overlap).
+func DefaultIncast() IncastConfig {
+	topo := ScaledTopology()
+	return IncastConfig{
+		Topo:      topo,
+		Scheme:    DefaultConfig(NUMFabric, topo),
+		Senders:   16,
+		SizeBytes: 64 << 10,
+		Bursts:    5,
+		Interval:  2 * sim.Millisecond,
+		Seed:      1,
+	}
+}
+
+// IncastResult aggregates an incast run.
+type IncastResult struct {
+	Records []FlowRecord
+	// BurstFCTs[k] is burst k's completion time: the FCT of its
+	// slowest flow (all Senders flows share the receiver's host link,
+	// so the ideal is Senders × SizeBytes × 8 / hostLink + RTT).
+	BurstFCTs  []float64
+	Unfinished int
+}
+
+// RunIncastLeap plays the incast workload through the leap engine —
+// each burst is exactly one allocation followed by (typically) one
+// batch of simultaneous completions, the event-driven engine's best
+// case. FCTs include the topology's base RTT, as in RunDynamicLeap.
+func RunIncastLeap(cfg IncastConfig) IncastResult {
+	topo := NewFluidTopology(cfg.Topo)
+	rng := sim.NewRNG(cfg.Seed)
+
+	arrivals := workload.Incast(workload.IncastConfig{
+		Hosts:     len(topo.Hosts),
+		Receiver:  0,
+		Senders:   cfg.Senders,
+		SizeBytes: cfg.SizeBytes,
+		Bursts:    cfg.Bursts,
+		Interval:  cfg.Interval,
+	}, rng)
+
+	leng := leap.NewEngine(FluidNetwork(topo), leap.Config{
+		Allocator: LeapAllocatorFor(cfg.Scheme),
+	})
+	flows := make([]*fluid.Flow, len(arrivals))
+	burstOf := make([]int, len(arrivals))
+	for i, a := range arrivals {
+		fwd, _ := topo.Route(a.Src, a.Dst, rng.Intn(cfg.Topo.Spines))
+		flows[i] = leng.AddFlow(PathLinkIDs(fwd), core.ProportionalFair(), a.Size, a.At.Seconds())
+		// Interval ≤ 0 (sensible for a single burst) stacks every
+		// arrival into burst 0.
+		if cfg.Interval > 0 {
+			burstOf[i] = int(a.At / sim.Time(cfg.Interval))
+		}
+	}
+	leng.Run(math.Inf(1))
+
+	d0 := cfg.Topo.BaseRTT().Seconds()
+	res := IncastResult{BurstFCTs: make([]float64, cfg.Bursts)}
+	for i, f := range flows {
+		if !f.Done() {
+			res.Unfinished++
+			continue
+		}
+		fct := f.FCT() + d0
+		res.Records = append(res.Records, FlowRecord{
+			Size:     f.SizeBytes,
+			Start:    arrivals[i].At,
+			FCT:      fct,
+			IdealFCT: math.NaN(),
+		})
+		if b := burstOf[i]; fct > res.BurstFCTs[b] {
+			res.BurstFCTs[b] = fct
+		}
+	}
+	return res
+}

@@ -1,0 +1,157 @@
+package harness
+
+import (
+	"math"
+	"testing"
+
+	"numfabric/internal/fluid"
+	"numfabric/internal/sim"
+	"numfabric/internal/stats"
+	"numfabric/internal/workload"
+)
+
+// TestLeapGoldenVsEpochFCT is the leap acceptance golden: the same
+// seeded web-search Poisson schedule through the event-driven engine
+// and through the epoch engine, with the identical stationary
+// WaterFill allocator (scheme DCTCP) so the only difference is how
+// time advances. The epoch engine runs at a 2 µs epoch — fine enough
+// that arrival quantization stops dominating short-flow FCTs — and the
+// two FCT distributions must agree within 5% at the median and p95 of
+// normalized FCT.
+func TestLeapGoldenVsEpochFCT(t *testing.T) {
+	cfg := DefaultDynamic(DCTCP, workload.WebSearch(), 0.4)
+	cfg.Flows = 300
+	cfg.SkipFluidIdeal = true
+	cfg.FluidEpoch = 2 * sim.Microsecond
+
+	lp := RunDynamicLeap(cfg)
+	ep := RunDynamicFluid(cfg)
+	if lp.Unfinished != 0 || ep.Unfinished != 0 {
+		t.Fatalf("unfinished: leap %d, epoch %d", lp.Unfinished, ep.Unfinished)
+	}
+	ln := lp.NormalizedFCTs(cfg.Topo)
+	en := ep.NormalizedFCTs(cfg.Topo)
+	for _, q := range []struct {
+		name string
+		f    func([]float64) float64
+	}{
+		{"median", stats.Median},
+		{"p95", func(x []float64) float64 { return stats.Percentile(x, 0.95) }},
+	} {
+		l, e := q.f(ln), q.f(en)
+		if diff := math.Abs(l-e) / e; diff > 0.05 {
+			t.Errorf("%s normalized FCT: leap %.4g vs epoch %.4g (%.1f%% apart, want ≤ 5%%)",
+				q.name, l, e, diff*100)
+		}
+	}
+}
+
+// TestRunDynamicLeapDeviation: the leap engine under the NUMFabric
+// scheme (xWI run to its fixed point at each event) lands near the
+// event-driven Oracle ideal.
+func TestRunDynamicLeapDeviation(t *testing.T) {
+	cfg := DefaultDynamic(NUMFabric, workload.Uniform(1<<20), 0.3)
+	cfg.Flows = 60
+	res := RunDynamicLeap(cfg)
+	if res.Unfinished != 0 {
+		t.Fatalf("%d flows unfinished", res.Unfinished)
+	}
+	if len(res.Records) != cfg.Flows {
+		t.Fatalf("got %d records, want %d", len(res.Records), cfg.Flows)
+	}
+	var devs []float64
+	for _, rec := range res.Records {
+		if rec.FCT <= 0 || math.IsNaN(rec.FCT) {
+			t.Fatalf("bad FCT %g", rec.FCT)
+		}
+		devs = append(devs, math.Abs(rec.Deviation()))
+	}
+	if med := stats.Median(devs); med > 0.2 {
+		t.Errorf("median |deviation| from oracle ideal %.3f, want < 0.2", med)
+	}
+}
+
+// TestLeapAllocatorDispatch: scheme → leap allocator mapping.
+func TestLeapAllocatorDispatch(t *testing.T) {
+	if a, ok := LeapAllocatorFor(DefaultConfig(NUMFabric, ScaledTopology())).(*fluid.XWI); !ok || a.IterPerEpoch < 16 {
+		t.Error("NUMFabric should map to a converging XWI")
+	}
+	if _, ok := LeapAllocatorFor(DefaultConfig(DGD, ScaledTopology())).(*fluid.DGD); !ok {
+		t.Error("DGD should map to DGD")
+	}
+	if _, ok := LeapAllocatorFor(DefaultConfig(RCP, ScaledTopology())).(*fluid.Oracle); !ok {
+		t.Error("RCP should map to Oracle")
+	}
+	if _, ok := LeapAllocatorFor(DefaultConfig(PFabric, ScaledTopology())).(*fluid.WaterFill); !ok {
+		t.Error("PFabric should map to WaterFill")
+	}
+}
+
+// TestRunDynamicWithDispatchLeap: the three-way dispatch reaches the
+// leap engine and accounts for every flow.
+func TestRunDynamicWithDispatchLeap(t *testing.T) {
+	cfg := DefaultDynamic(NUMFabric, workload.Uniform(200<<10), 0.2)
+	cfg.Flows = 20
+	cfg.SkipFluidIdeal = true
+	res := RunDynamicWith(EngineLeap, cfg)
+	if len(res.Records)+res.Unfinished != cfg.Flows {
+		t.Errorf("leap: %d records + %d unfinished != %d flows",
+			len(res.Records), res.Unfinished, cfg.Flows)
+	}
+}
+
+// TestRunDynamicLeapDeterministic: identical seeds produce identical
+// FCT records, to the bit.
+func TestRunDynamicLeapDeterministic(t *testing.T) {
+	cfg := DefaultDynamic(NUMFabric, workload.WebSearch(), 0.4)
+	cfg.Flows = 120
+	cfg.SkipFluidIdeal = true
+	a := RunDynamicLeap(cfg)
+	b := RunDynamicLeap(cfg)
+	if len(a.Records) != len(b.Records) || a.Unfinished != b.Unfinished {
+		t.Fatalf("run shape differs: %d/%d vs %d/%d records/unfinished",
+			len(a.Records), a.Unfinished, len(b.Records), b.Unfinished)
+	}
+	for i := range a.Records {
+		ra, rb := a.Records[i], b.Records[i]
+		// Bitwise-equal FCTs; IdealFCT is NaN on both sides here and
+		// NaN != NaN, so compare the populated fields.
+		if ra.Size != rb.Size || ra.Start != rb.Start || ra.FCT != rb.FCT {
+			t.Fatalf("record %d differs: %+v vs %+v", i, ra, rb)
+		}
+	}
+}
+
+// TestRunIncastLeap: every burst completes, and each burst's slowest
+// flow lands near the fan-in ideal — Senders flows share the
+// receiver's host link, so the last completion is
+// Senders × SizeBytes × 8 / hostLink (+ base RTT).
+func TestRunIncastLeap(t *testing.T) {
+	cfg := DefaultIncast()
+	res := RunIncastLeap(cfg)
+	if res.Unfinished != 0 {
+		t.Fatalf("%d flows unfinished", res.Unfinished)
+	}
+	if want := cfg.Senders * cfg.Bursts; len(res.Records) != want {
+		t.Fatalf("got %d records, want %d", len(res.Records), want)
+	}
+	ideal := float64(cfg.Senders)*float64(cfg.SizeBytes)*8/cfg.Topo.HostLink.Float() +
+		cfg.Topo.BaseRTT().Seconds()
+	for b, fct := range res.BurstFCTs {
+		if math.Abs(fct-ideal)/ideal > 0.1 {
+			t.Errorf("burst %d completion %.4gs, want ≈ %.4gs (±10%%)", b, fct, ideal)
+		}
+	}
+}
+
+// TestRunIncastLeapSingleBurst: a one-burst config with the Interval
+// left zero (meaningless for a single burst) must not divide by zero.
+func TestRunIncastLeapSingleBurst(t *testing.T) {
+	cfg := DefaultIncast()
+	cfg.Bursts = 1
+	cfg.Interval = 0
+	res := RunIncastLeap(cfg)
+	if res.Unfinished != 0 || len(res.BurstFCTs) != 1 || res.BurstFCTs[0] <= 0 {
+		t.Fatalf("single burst: %d unfinished, bursts %v", res.Unfinished, res.BurstFCTs)
+	}
+}

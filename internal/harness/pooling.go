@@ -164,9 +164,11 @@ func RunPoolingFluid(cfg PoolingConfig) PoolingResult {
 }
 
 // RunPoolingWith dispatches the resource-pooling experiment to the
-// chosen engine.
+// chosen engine. EngineLeap falls back to the fluid epoch engine: the
+// experiment measures steady-state throughput of unbounded groups, a
+// scenario with no arrival/completion events for leap to jump between.
 func RunPoolingWith(eng Engine, cfg PoolingConfig) PoolingResult {
-	if eng == EngineFluid {
+	if eng == EngineFluid || eng == EngineLeap {
 		return RunPoolingFluid(cfg)
 	}
 	return RunPooling(cfg)

@@ -1,0 +1,43 @@
+package leap
+
+import (
+	"fmt"
+	"testing"
+
+	"numfabric/internal/core"
+	"numfabric/internal/fluid"
+	"numfabric/internal/sim"
+)
+
+// BenchmarkAllocatorCost measures one Allocate call on a k=8 fat-tree
+// at several active-set sizes — the unit of leap's per-event work.
+func BenchmarkAllocatorCost(b *testing.B) {
+	ft := fluid.NewFatTree(8, 10e9)
+	rng := sim.NewRNG(1)
+	for _, nf := range []int{4, 16, 64, 256} {
+		flows := make([]*fluid.Flow, nf)
+		for i := range flows {
+			src := rng.Intn(ft.Hosts())
+			dst := rng.Intn(ft.Hosts() - 1)
+			if dst >= src {
+				dst++
+			}
+			flows[i] = fluid.NewFlow(i, ft.Route(src, dst, rng.Intn(16)), core.ProportionalFair(), 1<<20, 0)
+		}
+		rates := make([]float64, nf)
+		for _, tc := range []struct {
+			name  string
+			alloc fluid.Allocator
+		}{
+			{"waterfill", fluid.NewWaterFill()},
+			{"xwi1", fluid.NewXWI()},
+			{"oracle", fluid.NewOracle()},
+		} {
+			b.Run(fmt.Sprintf("%s/flows=%d", tc.name, nf), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					tc.alloc.Allocate(ft.Net, flows, rates)
+				}
+			})
+		}
+	}
+}

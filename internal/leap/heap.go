@@ -1,0 +1,104 @@
+package leap
+
+import "numfabric/internal/fluid"
+
+// event is one scheduled completion: a finite flow or a finite group
+// emptying at time t under the rates of the latest allocation. Ties
+// break deterministically on (id, kind): flow and group IDs are each
+// dense in their own sequence, so two events can share an id across
+// kinds, and before() then orders the flow ahead of the group.
+type event struct {
+	t  float64
+	id int
+	f  *fluid.Flow  // nil for group events
+	g  *fluid.Group // nil for flow events
+}
+
+func (e event) before(o event) bool {
+	if e.t != o.t {
+		return e.t < o.t
+	}
+	if e.id != o.id {
+		return e.id < o.id
+	}
+	// Same id across kinds (a flow and a group may share an id):
+	// flows first.
+	return e.g == nil && o.g != nil
+}
+
+// eventHeap is a binary min-heap of completion events keyed on
+// (time, id). Every allocation changes every completion time, so the
+// engine refills the backing slice and calls init (O(n) heapify) after
+// each rate recomputation; pops between recomputations are O(log n).
+type eventHeap struct {
+	ev []event
+}
+
+// reset empties the heap, keeping the backing array.
+func (h *eventHeap) reset() { h.ev = h.ev[:0] }
+
+// add appends an event without restoring heap order; call init after
+// the batch.
+func (h *eventHeap) add(e event) { h.ev = append(h.ev, e) }
+
+// init establishes heap order over the appended events (heapify).
+func (h *eventHeap) init() {
+	n := len(h.ev)
+	for i := n/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+// push inserts one event into an already-ordered heap (O(log n)) —
+// the independent-arrival fast path, where one new completion joins
+// an otherwise unchanged schedule.
+func (h *eventHeap) push(e event) {
+	h.ev = append(h.ev, e)
+	i := len(h.ev) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.ev[i].before(h.ev[p]) {
+			return
+		}
+		h.ev[i], h.ev[p] = h.ev[p], h.ev[i]
+		i = p
+	}
+}
+
+// len returns the number of pending events.
+func (h *eventHeap) len() int { return len(h.ev) }
+
+// top returns the earliest event; valid only when len() > 0.
+func (h *eventHeap) top() event { return h.ev[0] }
+
+// pop removes and returns the earliest event.
+func (h *eventHeap) pop() event {
+	e := h.ev[0]
+	last := len(h.ev) - 1
+	h.ev[0] = h.ev[last]
+	h.ev = h.ev[:last]
+	if last > 0 {
+		h.down(0)
+	}
+	return e
+}
+
+func (h *eventHeap) down(i int) {
+	ev := h.ev
+	n := len(ev)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if r := l + 1; r < n && ev[r].before(ev[l]) {
+			m = r
+		}
+		if !ev[m].before(ev[i]) {
+			return
+		}
+		ev[i], ev[m] = ev[m], ev[i]
+		i = m
+	}
+}

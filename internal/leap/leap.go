@@ -1,0 +1,431 @@
+// Package leap is an event-driven flow-level simulation engine: the
+// sparse-workload fast path next to internal/fluid's epoch engine.
+//
+// The fluid engine advances in fixed epochs — admit, allocate, drain —
+// so a sparse dynamic workload burns almost all of its cycles
+// re-solving an unchanged allocation between arrivals. This package
+// instead leaps straight to the next event: the earlier of the next
+// scheduled arrival and the earliest flow (or group) completion under
+// the current rates. Rates are recomputed only when the active set
+// changes, completion times are exact (no epoch quantization of
+// arrivals or departures), and fully idle or fully steady stretches
+// cost nothing regardless of their simulated length. This is the
+// standard flow-level event-driven construction — the same one
+// harness.FluidIdealFCTs uses for the paper's instantaneous Oracle —
+// generalized to pluggable allocators, finite multipath groups, and
+// million-flow workloads.
+//
+// The engine reuses the fluid package wholesale: fluid.Network link
+// capacities, fluid.Flow/fluid.Group state, and every fluid.Allocator
+// (WaterFill, XWI, DGD, Oracle). One allocation runs per active-set
+// change. For the stationary allocators (WaterFill, Oracle) the result
+// is exact: rates are a pure function of the active set, so holding
+// them constant between events loses nothing. For the dynamic
+// allocators (XWI, DGD) each event runs the allocator's IterPerEpoch
+// internal iterations once — configure enough iterations to reach the
+// fixed point (prices warm-start across events) and the engine models
+// a transport that converges between events, which the paper measures
+// to take only tens of RTTs; the epoch engine remains the tool for
+// studying the convergence transient itself.
+//
+// Completion times live in an event heap keyed on the times implied by
+// the latest allocation. Every allocation shifts every completion, so
+// the heap is rebuilt (one O(n) heapify) per rate recomputation and
+// popped in O(log n) for the — possibly simultaneous — completions of
+// the next event. The active set is maintained incrementally: arrivals
+// append, completions compact in place, per-link active-flow counts
+// track who shares what, and the flow slice is handed to the allocator
+// as-is, in stable arrival order, which keeps event orderings
+// bit-deterministic for a fixed schedule.
+//
+// The link counts buy the engine's second big win, independence
+// elision: a single-path flow that shares no link with any active flow
+// provably cannot change anyone else's allocation, so its arrival
+// skips the allocator — it takes its path's minimum capacity, the
+// single-flow optimum under any increasing utility — and pushes one
+// heap event, and a departure that leaves every one of its links
+// empty pops one. On sparse workloads, where most flows run alone at
+// line rate, most events reduce to O(path length + log n) and the
+// allocator runs only for the minority of genuinely coupled events.
+package leap
+
+import (
+	"math"
+	"sort"
+
+	"numfabric/internal/core"
+	"numfabric/internal/fluid"
+)
+
+// Config parameterizes an Engine.
+type Config struct {
+	// Allocator computes rates at each active-set change (default
+	// fluid.NewWaterFill() — stationary, so event-driven advancement
+	// is exact).
+	Allocator fluid.Allocator
+}
+
+func (c Config) withDefaults() Config {
+	if c.Allocator == nil {
+		c.Allocator = fluid.NewWaterFill()
+	}
+	return c
+}
+
+// Engine advances a fluid network event by event. Between events every
+// rate is constant, so the state at the next event follows in closed
+// form; nothing is simulated in between.
+type Engine struct {
+	net   *fluid.Network
+	alloc fluid.Allocator
+
+	now      float64
+	pending  []*fluid.Flow // arrival order; pending[next:] not yet admitted
+	next     int
+	unsorted bool
+
+	active         []*fluid.Flow
+	activeGroups   []*fluid.Group
+	inActive       map[*fluid.Group]bool
+	finished       []*fluid.Flow
+	finishedGroups []*fluid.Group
+
+	rates   []float64
+	heap    eventHeap
+	changed bool
+	// linkCount[l] is how many active flows cross link l, maintained
+	// incrementally on admit/retire. It powers the independence fast
+	// path: a single-path flow that shares no link with any active
+	// flow provably cannot change anyone else's allocation, so its
+	// arrival (rate = its path's minimum capacity, the single-flow
+	// optimum for any increasing utility) and its departure skip the
+	// global rate recomputation and splice one event in or out of the
+	// heap instead.
+	linkCount []int
+
+	nextID      int
+	nextGroupID int
+
+	allocs int
+	events int
+}
+
+// NewEngine returns an event-driven engine over net.
+func NewEngine(net *fluid.Network, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	return &Engine{
+		net:       net,
+		alloc:     cfg.Allocator,
+		inActive:  make(map[*fluid.Group]bool),
+		linkCount: make([]int, net.Links()),
+	}
+}
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Net returns the engine's network.
+func (e *Engine) Net() *fluid.Network { return e.net }
+
+// Active returns the live view of active flows (including group
+// members), in stable admission order; valid until the next Step.
+func (e *Engine) Active() []*fluid.Flow { return e.active }
+
+// Finished returns every completed flow, in completion order. Group
+// members appear here too, stamped with their group's finish time.
+func (e *Engine) Finished() []*fluid.Flow { return e.finished }
+
+// FinishedGroups returns every completed group, in completion order.
+func (e *Engine) FinishedGroups() []*fluid.Group { return e.finishedGroups }
+
+// Allocs returns how many rate allocations have run — one per
+// active-set change, the engine's unit of real work.
+func (e *Engine) Allocs() int { return e.allocs }
+
+// Events returns how many events have been processed.
+func (e *Engine) Events() int { return e.events }
+
+// AddFlow schedules a flow over links, arriving at time at (seconds;
+// at ≤ Now admits it on the next Step), with utility u and payload
+// sizeBytes (0 = unbounded). It returns the Flow for inspection.
+func (e *Engine) AddFlow(links []int, u core.Utility, sizeBytes int64, at float64) *fluid.Flow {
+	f := fluid.NewFlow(e.nextID, links, u, sizeBytes, at)
+	e.nextID++
+	if n := len(e.pending); n > 0 && at < e.pending[n-1].Arrive {
+		e.unsorted = true
+	}
+	e.pending = append(e.pending, f)
+	return f
+}
+
+// AddGroup schedules a multipath aggregate over the given paths (one
+// member subflow per path), arriving as a unit at time at, with
+// utility u of the group's TOTAL rate and a shared payload of
+// sizeBytes (0 = unbounded). It returns the Group for inspection; the
+// member flows are in Group.Members, path order.
+func (e *Engine) AddGroup(paths [][]int, u core.Utility, sizeBytes int64, at float64) *fluid.Group {
+	g := fluid.NewGroup(e.nextGroupID, u, sizeBytes, at)
+	e.nextGroupID++
+	for _, links := range paths {
+		g.AddMember(e.AddFlow(links, u, 0, at))
+	}
+	return g
+}
+
+// admitDue moves every pending flow with Arrive ≤ now into the active
+// set. A single-path flow whose links carry no other active flow takes
+// the independence fast path — rate set to its path's minimum capacity
+// and one completion event pushed, no global reallocation; everything
+// else marks the active set changed.
+func (e *Engine) admitDue() {
+	if e.unsorted {
+		rest := e.pending[e.next:]
+		sort.SliceStable(rest, func(i, j int) bool { return rest[i].Arrive < rest[j].Arrive })
+		e.unsorted = false
+	}
+	n := e.next
+	for n < len(e.pending) && e.pending[n].Arrive <= e.now {
+		f := e.pending[n]
+		iso := !e.changed && f.Group == nil && e.isolated(f)
+		for _, l := range f.Links {
+			e.linkCount[l]++
+		}
+		e.active = append(e.active, f)
+		if g := f.Group; g != nil && !e.inActive[g] {
+			e.inActive[g] = true
+			e.activeGroups = append(e.activeGroups, g)
+		}
+		if iso {
+			e.admitIsolated(f)
+		} else {
+			e.changed = true
+		}
+		n++
+	}
+	e.next = n
+}
+
+// solo reports whether f is the only active flow on every one of its
+// links (checked before its counts are released).
+func (e *Engine) solo(f *fluid.Flow) bool {
+	for _, l := range f.Links {
+		if e.linkCount[l] != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// isolated reports whether none of f's links carry an active flow.
+func (e *Engine) isolated(f *fluid.Flow) bool {
+	for _, l := range f.Links {
+		if e.linkCount[l] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// admitIsolated gives an independent flow its single-flow optimum —
+// the minimum capacity along its path, which any increasing utility
+// wants in full — and splices its completion into the schedule.
+func (e *Engine) admitIsolated(f *fluid.Flow) {
+	rate := math.Inf(1)
+	for _, l := range f.Links {
+		if c := e.net.Capacity[l]; c < rate {
+			rate = c
+		}
+	}
+	f.Rate = rate
+	if f.SizeBytes > 0 && rate > 0 {
+		e.heap.push(event{t: e.now + f.Remaining*8/rate, id: f.ID, f: f})
+	}
+}
+
+// allocate recomputes rates for the current active set and rebuilds
+// the completion-event heap from the new rates.
+func (e *Engine) allocate() {
+	n := len(e.active)
+	if cap(e.rates) < n {
+		e.rates = make([]float64, 2*n)
+	}
+	rates := e.rates[:n]
+	e.alloc.Allocate(e.net, e.active, rates)
+	for i, f := range e.active {
+		f.Rate = rates[i]
+	}
+	e.allocs++
+	e.changed = false
+
+	e.heap.reset()
+	for _, f := range e.active {
+		// Members complete with their group; unbounded and starved
+		// flows have no completion event.
+		if f.SizeBytes == 0 || f.Group != nil || f.Rate <= 0 {
+			continue
+		}
+		e.heap.add(event{t: e.now + f.Remaining*8/f.Rate, id: f.ID, f: f})
+	}
+	for _, g := range e.activeGroups {
+		total := g.Rate()
+		if g.SizeBytes == 0 || total <= 0 {
+			continue
+		}
+		e.heap.add(event{t: e.now + g.Remaining*8/total, id: g.ID, g: g})
+	}
+	e.heap.init()
+}
+
+// drain advances every finite payload by dt at the current rates.
+func (e *Engine) drain(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	for _, f := range e.active {
+		if f.SizeBytes == 0 || f.Group != nil {
+			continue
+		}
+		f.Remaining -= f.Rate / 8 * dt
+		if f.Remaining < 0 {
+			f.Remaining = 0
+		}
+	}
+	for _, g := range e.activeGroups {
+		if g.SizeBytes == 0 {
+			continue
+		}
+		g.Remaining -= g.Rate() / 8 * dt
+		if g.Remaining < 0 {
+			g.Remaining = 0
+		}
+	}
+}
+
+// complete retires every flow and group whose completion event is due
+// at time t, in deterministic (time, id) order, then compacts the
+// active set in place (preserving admission order). A departing
+// single-path flow that shared no link keeps the fast path: its
+// capacity was visible to nobody, so the remaining schedule stands.
+func (e *Engine) complete(t float64) {
+	slack := 1e-12 * (1 + math.Abs(t))
+	done := false
+	for e.heap.len() > 0 && e.heap.top().t <= t+slack {
+		ev := e.heap.pop()
+		done = true
+		if ev.f != nil {
+			f := ev.f
+			f.Finish = ev.t
+			f.Remaining = 0
+			e.finished = append(e.finished, f)
+			if !e.solo(f) {
+				e.changed = true
+			}
+			for _, l := range f.Links {
+				e.linkCount[l]--
+			}
+			continue
+		}
+		g := ev.g
+		g.Finish = ev.t
+		g.Remaining = 0
+		for _, m := range g.Members {
+			if !m.Done() {
+				m.Finish = g.Finish
+				e.finished = append(e.finished, m)
+				for _, l := range m.Links {
+					e.linkCount[l]--
+				}
+			}
+		}
+		e.finishedGroups = append(e.finishedGroups, g)
+		delete(e.inActive, g)
+		e.changed = true
+	}
+	if !done {
+		return
+	}
+	kept := e.active[:0]
+	for _, f := range e.active {
+		if !f.Done() {
+			kept = append(kept, f)
+		}
+	}
+	for i := len(kept); i < len(e.active); i++ {
+		e.active[i] = nil
+	}
+	e.active = kept
+	keptG := e.activeGroups[:0]
+	for _, g := range e.activeGroups {
+		if !g.Done() {
+			keptG = append(keptG, g)
+		}
+	}
+	for i := len(keptG); i < len(e.activeGroups); i++ {
+		e.activeGroups[i] = nil
+	}
+	e.activeGroups = keptG
+	// A drained-empty network has no stale rates to fix; un-latch
+	// changed so the next isolated arrival keeps the fast path.
+	if len(e.active) == 0 {
+		e.changed = false
+	}
+}
+
+// Step advances to the next event: admit due arrivals, reallocate if
+// the active set changed, and jump time to the earlier of the next
+// arrival and the earliest completion. It reports whether any further
+// event can occur; false means the simulation has reached a state that
+// will never change again (no pending arrivals and no finite flow
+// draining — any remaining active flows are unbounded and hold their
+// current rates forever).
+func (e *Engine) Step() bool { return e.step(math.Inf(1)) }
+
+// step is Step bounded by a deadline: if the next event lies beyond
+// it, time advances (and payloads drain) only to the deadline and no
+// event fires.
+func (e *Engine) step(deadline float64) bool {
+	e.admitDue()
+	if len(e.active) == 0 && e.next >= len(e.pending) {
+		return false
+	}
+	if e.changed && len(e.active) > 0 {
+		e.allocate()
+	}
+	tC := math.Inf(1)
+	if e.heap.len() > 0 {
+		tC = e.heap.top().t
+	}
+	tA := math.Inf(1)
+	if e.next < len(e.pending) {
+		tA = e.pending[e.next].Arrive
+	}
+	if math.IsInf(tC, 1) && math.IsInf(tA, 1) {
+		return false
+	}
+	t := math.Min(tC, tA)
+	if t < e.now {
+		t = e.now
+	}
+	if t > deadline {
+		e.drain(deadline - e.now)
+		e.now = deadline
+		return true
+	}
+	e.drain(t - e.now)
+	e.now = t
+	e.complete(t)
+	e.events++
+	return true
+}
+
+// Run advances events until nothing further can happen or time reaches
+// until (seconds; math.Inf(1) runs to completion of every finite
+// flow). Flows still draining at until are left unfinished, exactly as
+// the epoch engine leaves them.
+func (e *Engine) Run(until float64) {
+	for e.now < until {
+		if !e.step(until) {
+			return
+		}
+	}
+}

@@ -1,0 +1,296 @@
+package leap
+
+import (
+	"math"
+	"testing"
+
+	"numfabric/internal/core"
+	"numfabric/internal/fluid"
+)
+
+func almostEq(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= rel*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// TestSingleFlowExactFCT: one finite flow on one link completes in
+// exactly size×8/capacity seconds, in one allocation.
+func TestSingleFlowExactFCT(t *testing.T) {
+	net := fluid.NewNetwork([]float64{10e9})
+	e := NewEngine(net, Config{})
+	f := e.AddFlow([]int{0}, core.ProportionalFair(), 10<<20, 0)
+	e.Run(math.Inf(1))
+	want := float64(10<<20) * 8 / 10e9
+	if !f.Done() || !almostEq(f.FCT(), want, 1e-12) {
+		t.Fatalf("FCT = %v, want %v", f.FCT(), want)
+	}
+	// A lone flow is independent end to end: the fast path never
+	// invokes the allocator.
+	if e.Allocs() != 0 {
+		t.Errorf("allocs = %d, want 0", e.Allocs())
+	}
+}
+
+// TestTwoFlowsPiecewise: the textbook two-flow overlap on a shared
+// 10G link, checked against the closed-form piecewise solution.
+//
+//	A: 10 MB at t=0      alone 10G until B arrives
+//	B: 2.5 MB at t=2ms   both at 5G until B finishes at 6ms
+//	                     A alone again at 10G, finishes at 10ms
+func TestTwoFlowsPiecewise(t *testing.T) {
+	net := fluid.NewNetwork([]float64{10e9})
+	e := NewEngine(net, Config{})
+	sizeA := int64(math.Round(10e9 * 8e-3 / 8)) // 8 ms of wire time
+	sizeB := int64(math.Round(10e9 * 2e-3 / 8)) // 2 ms of wire time
+	a := e.AddFlow([]int{0}, core.ProportionalFair(), sizeA, 0)
+	b := e.AddFlow([]int{0}, core.ProportionalFair(), sizeB, 2e-3)
+	e.Run(math.Inf(1))
+	if !almostEq(b.Finish, 6e-3, 1e-9) {
+		t.Errorf("B finish = %v, want 6ms", b.Finish)
+	}
+	if !almostEq(a.Finish, 10e-3, 1e-9) {
+		t.Errorf("A finish = %v, want 10ms", a.Finish)
+	}
+	if fin := e.Finished(); len(fin) != 2 || fin[0] != b || fin[1] != a {
+		t.Errorf("finished order wrong: %v", fin)
+	}
+}
+
+// TestMatchesEpochEngine: a seeded multi-link scenario through leap
+// and through the fluid epoch engine at a fine epoch produces the same
+// completion times (identical WaterFill allocator; the only epoch-
+// engine error left is arrival quantization, bounded by one epoch).
+func TestMatchesEpochEngine(t *testing.T) {
+	caps := []float64{10e9, 10e9, 10e9, 40e9}
+	paths := [][]int{{0, 3}, {1, 3}, {2, 3}, {0, 3}, {1, 3}}
+	sizes := []int64{4 << 20, 1 << 20, 2 << 20, 512 << 10, 8 << 20}
+	at := []float64{0, 100e-6, 250e-6, 400e-6, 450e-6}
+
+	le := NewEngine(fluid.NewNetwork(caps), Config{Allocator: fluid.NewWaterFill()})
+	fe := fluid.NewEngine(fluid.NewNetwork(caps), fluid.Config{
+		Epoch:     1e-6,
+		Allocator: fluid.NewWaterFill(),
+	})
+	var lf, ff []*fluid.Flow
+	for i := range paths {
+		lf = append(lf, le.AddFlow(paths[i], core.ProportionalFair(), sizes[i], at[i]))
+		ff = append(ff, fe.AddFlow(paths[i], core.ProportionalFair(), sizes[i], at[i]))
+	}
+	le.Run(math.Inf(1))
+	fe.Run(1)
+	for i := range lf {
+		if !lf[i].Done() || !ff[i].Done() {
+			t.Fatalf("flow %d unfinished (leap %v epoch %v)", i, lf[i].Done(), ff[i].Done())
+		}
+		if !almostEq(lf[i].FCT(), ff[i].FCT(), 0.01) {
+			t.Errorf("flow %d: leap FCT %.6g, epoch FCT %.6g (>1%% apart)",
+				i, lf[i].FCT(), ff[i].FCT())
+		}
+	}
+}
+
+// TestGroupCompletesAsUnit: a finite two-path group drains its shared
+// payload at the members' total rate and completes as one event, with
+// members stamped at the group's finish.
+func TestGroupCompletesAsUnit(t *testing.T) {
+	net := fluid.NewNetwork([]float64{10e9, 10e9})
+	e := NewEngine(net, Config{})
+	size := int64(math.Round(20e9 * 1e-3 / 8)) // 1 ms at the pooled 20G
+	g := e.AddGroup([][]int{{0}, {1}}, core.ProportionalFair(), size, 0)
+	e.Run(math.Inf(1))
+	if !g.Done() || !almostEq(g.FCT(), 1e-3, 1e-6) {
+		t.Fatalf("group FCT = %v, want 1ms", g.FCT())
+	}
+	for i, m := range g.Members {
+		if !m.Done() || m.Finish != g.Finish {
+			t.Errorf("member %d finish %v != group %v", i, m.Finish, g.Finish)
+		}
+	}
+	if len(e.FinishedGroups()) != 1 || len(e.Finished()) != 2 {
+		t.Errorf("finished: %d groups, %d flows", len(e.FinishedGroups()), len(e.Finished()))
+	}
+}
+
+// TestGroupVsFlowSharing: a group competing with a plain flow on one
+// of its paths gets the multi-path benefit (pooled rate above a single
+// link's fair share).
+func TestGroupVsFlowSharing(t *testing.T) {
+	net := fluid.NewNetwork([]float64{10e9, 10e9})
+	e := NewEngine(net, Config{})
+	g := e.AddGroup([][]int{{0}, {1}}, core.ProportionalFair(), 0, 0)
+	e.AddFlow([]int{0}, core.ProportionalFair(), 0, 0)
+	e.Step() // admit + allocate
+	got := g.Rate()
+	// WaterFill's bottleneck-aware split: the member on the contended
+	// link sheds weight onto the free one, so the pooled rate clears
+	// what any single 10G path could carry.
+	if got < 10.5e9 {
+		t.Errorf("pooled rate %.3g, want > 10.5G", got)
+	}
+}
+
+// TestAddMemberMovesPayload: attaching a finite flow to a group via
+// the constructor API folds its payload into the group's shared
+// Remaining; the whole payload drains at the pooled rate and the
+// member completes with the group, never alone.
+func TestAddMemberMovesPayload(t *testing.T) {
+	g := fluid.NewGroup(0, core.ProportionalFair(), 0, 0)
+	a := fluid.NewFlow(0, []int{0}, core.ProportionalFair(), 1<<20, 0)
+	b := fluid.NewFlow(1, []int{1}, core.ProportionalFair(), 1<<20, 0)
+	g.AddMember(a)
+	g.AddMember(b)
+	if a.SizeBytes != 0 || b.SizeBytes != 0 {
+		t.Fatal("member payloads not moved to the group")
+	}
+	if g.SizeBytes != 2<<20 || g.Remaining != float64(2<<20) {
+		t.Fatalf("group payload = %d/%g, want %d", g.SizeBytes, g.Remaining, 2<<20)
+	}
+}
+
+// TestFastPathAfterDrainToEmpty: once every flow (including a coupled
+// pair whose completion latches a reallocation) has drained out, the
+// next isolated arrival still takes the zero-allocation fast path.
+func TestFastPathAfterDrainToEmpty(t *testing.T) {
+	net := fluid.NewNetwork([]float64{10e9})
+	e := NewEngine(net, Config{})
+	e.AddFlow([]int{0}, core.ProportionalFair(), 1<<20, 0)
+	e.AddFlow([]int{0}, core.ProportionalFair(), 1<<20, 0) // coupled pair
+	e.Run(math.Inf(1))
+	base := e.Allocs()
+	if base == 0 {
+		t.Fatal("coupled pair should have allocated")
+	}
+	e.AddFlow([]int{0}, core.ProportionalFair(), 1<<20, e.Now()+1e-3)
+	e.Run(math.Inf(1))
+	if e.Allocs() != base {
+		t.Errorf("isolated arrival after drain-to-empty allocated (%d -> %d allocs)",
+			base, e.Allocs())
+	}
+}
+
+// TestUnboundedReachesFixedPoint: with only unbounded flows active and
+// no arrivals pending, Step reports no further events (rates constant
+// forever) instead of spinning.
+func TestUnboundedReachesFixedPoint(t *testing.T) {
+	net := fluid.NewNetwork([]float64{10e9})
+	e := NewEngine(net, Config{})
+	f := e.AddFlow([]int{0}, core.ProportionalFair(), 0, 0)
+	steps := 0
+	for e.Step() {
+		if steps++; steps > 10 {
+			t.Fatal("engine did not reach a fixed point")
+		}
+	}
+	if f.Done() {
+		t.Error("unbounded flow should not complete")
+	}
+	if f.Rate != 10e9 {
+		t.Errorf("rate = %v, want 10G", f.Rate)
+	}
+}
+
+// TestZeroRateNoLivelock: a flow the allocator starves (zero weight
+// path shadowed — emulated with a zero-capacity link) produces no
+// completion event; the engine halts rather than spinning.
+func TestZeroRateNoLivelock(t *testing.T) {
+	net := fluid.NewNetwork([]float64{0})
+	e := NewEngine(net, Config{})
+	f := e.AddFlow([]int{0}, core.ProportionalFair(), 1<<20, 0)
+	e.Run(math.Inf(1))
+	if f.Done() {
+		t.Error("starved flow should not complete")
+	}
+}
+
+// buildSchedule adds a deterministic mixed workload to an engine and
+// returns the flows (used by the determinism test, twice).
+func buildSchedule(e *Engine) []*fluid.Flow {
+	var fs []*fluid.Flow
+	links := [][]int{{0, 2}, {1, 2}, {0, 2}, {1, 2}}
+	for i := 0; i < 40; i++ {
+		sz := int64(64<<10 + (i%7)*(128<<10))
+		at := float64(i%11) * 37e-6
+		fs = append(fs, e.AddFlow(links[i%len(links)], core.ProportionalFair(), sz, at))
+	}
+	// Two finite groups and a late burst of synchronized arrivals.
+	e.AddGroup([][]int{{0, 2}, {1, 2}}, core.ProportionalFair(), 1<<20, 50e-6)
+	e.AddGroup([][]int{{0, 2}, {1, 2}}, core.ProportionalFair(), 2<<20, 120e-6)
+	for i := 0; i < 8; i++ {
+		fs = append(fs, e.AddFlow(links[i%2], core.ProportionalFair(), 256<<10, 300e-6))
+	}
+	return fs
+}
+
+// TestDeterministicEventOrdering: two engines fed the identical
+// schedule produce byte-identical event orderings — same completion
+// order, bitwise-equal finish times, same event and allocation counts.
+func TestDeterministicEventOrdering(t *testing.T) {
+	caps := []float64{10e9, 10e9, 25e9}
+	e1 := NewEngine(fluid.NewNetwork(caps), Config{})
+	e2 := NewEngine(fluid.NewNetwork(caps), Config{})
+	buildSchedule(e1)
+	buildSchedule(e2)
+	e1.Run(math.Inf(1))
+	e2.Run(math.Inf(1))
+	if e1.Events() != e2.Events() || e1.Allocs() != e2.Allocs() {
+		t.Fatalf("run shape differs: events %d vs %d, allocs %d vs %d",
+			e1.Events(), e2.Events(), e1.Allocs(), e2.Allocs())
+	}
+	f1, f2 := e1.Finished(), e2.Finished()
+	if len(f1) != len(f2) {
+		t.Fatalf("finished %d vs %d flows", len(f1), len(f2))
+	}
+	for i := range f1 {
+		if f1[i].ID != f2[i].ID || f1[i].Finish != f2[i].Finish {
+			t.Fatalf("completion %d differs: flow %d @%v vs flow %d @%v",
+				i, f1[i].ID, f1[i].Finish, f2[i].ID, f2[i].Finish)
+		}
+	}
+}
+
+// TestIdleGapCostsNothing: events, not simulated time, bound the work —
+// two flows a simulated hour apart cost four events.
+func TestIdleGapCostsNothing(t *testing.T) {
+	net := fluid.NewNetwork([]float64{10e9})
+	e := NewEngine(net, Config{})
+	e.AddFlow([]int{0}, core.ProportionalFair(), 1<<20, 0)
+	e.AddFlow([]int{0}, core.ProportionalFair(), 1<<20, 3600)
+	e.Run(math.Inf(1))
+	if len(e.Finished()) != 2 {
+		t.Fatalf("finished %d flows", len(e.Finished()))
+	}
+	if e.Events() > 6 {
+		t.Errorf("%d events for two isolated flows, want ≤ 6", e.Events())
+	}
+	if e.Allocs() != 0 {
+		t.Errorf("%d allocs, want 0 (both flows independent)", e.Allocs())
+	}
+}
+
+// TestIndependenceElision: flows on disjoint links never invoke the
+// allocator; an overlapping arrival forces the recomputation and the
+// shared rates are exact.
+func TestIndependenceElision(t *testing.T) {
+	net := fluid.NewNetwork([]float64{10e9, 10e9})
+	e := NewEngine(net, Config{})
+	a := e.AddFlow([]int{0}, core.ProportionalFair(), 100<<20, 0)
+	b := e.AddFlow([]int{1}, core.ProportionalFair(), 1<<20, 0)
+	e.Run(1e-3)
+	if e.Allocs() != 0 {
+		t.Errorf("disjoint flows triggered %d allocs, want 0", e.Allocs())
+	}
+	if a.Rate != 10e9 || !b.Done() {
+		t.Fatalf("fast-path rates wrong: a=%v b done=%v", a.Rate, b.Done())
+	}
+	// c overlaps a on link 0: the allocator must run and split it.
+	c := e.AddFlow([]int{0}, core.ProportionalFair(), 1<<20, e.Now())
+	e.Step()
+	if e.Allocs() == 0 {
+		t.Error("overlapping arrival did not trigger an allocation")
+	}
+	if !almostEq(a.Rate, 5e9, 1e-9) || !almostEq(c.Rate, 5e9, 1e-9) {
+		t.Errorf("shared rates %v/%v, want 5G each", a.Rate, c.Rate)
+	}
+}

@@ -30,9 +30,14 @@ func WeightedMaxMin(capacity []float64, paths [][]int, weight []float64) []float
 }
 
 // MaxMinWorkspace holds the scratch buffers of a WeightedMaxMin solve
-// so repeated solves (the fluid engine runs one per epoch) reuse
-// memory instead of reallocating. The zero value is ready to use; a
-// workspace must not be used concurrently.
+// so repeated solves (the fluid engine runs one per epoch, the leap
+// engine one per event) reuse memory instead of reallocating. Apart
+// from one-time buffer growth, a solve touches only the links the
+// flows actually cross — O(path entries + touched links), not O(all
+// links) — which is what keeps small active sets cheap on big
+// networks (a sparse workload on a fat-tree crosses a few dozen of
+// the hundreds of links). The zero value is ready to use; a workspace
+// must not be used concurrently.
 type MaxMinWorkspace struct {
 	frozen       []bool
 	rem          []float64
@@ -42,6 +47,12 @@ type MaxMinWorkspace struct {
 	fill         []int
 	used         []int
 	linkFlows    []int32
+	// stamp[l] == round marks link l as touched this call; slot[l] is
+	// its dense per-call index into start/fill. Stamping avoids the
+	// O(all links) zeroing a fresh marker array would need.
+	stamp []int
+	slot  []int32
+	round int
 }
 
 func growF(s []float64, n int) []float64 {
@@ -75,16 +86,22 @@ func (ws *MaxMinWorkspace) WeightedMaxMin(capacity []float64, paths [][]int, wei
 		frozen[i] = false
 		x[i] = 0
 	}
+	// Discover the touched links in first-touch order and initialize
+	// their residuals/weights on first sight; untouched links are
+	// never read, so nothing network-wide needs zeroing. stamp/slot
+	// are link-indexed but written only for touched links.
 	ws.rem = growF(ws.rem, nl)
-	rem := ws.rem
-	copy(rem, capacity)
-	// activeWeight[l]: total weight of unfrozen flows crossing l.
 	ws.activeWeight = growF(ws.activeWeight, nl)
 	ws.activeCount = growI(ws.activeCount, nl)
-	activeWeight, activeCount := ws.activeWeight, ws.activeCount
-	for l := 0; l < nl; l++ {
-		activeWeight[l], activeCount[l] = 0, 0
+	rem, activeWeight, activeCount := ws.rem, ws.activeWeight, ws.activeCount
+	if cap(ws.stamp) < nl {
+		ws.stamp = make([]int, nl)
+		ws.slot = make([]int32, nl)
 	}
+	stamp, slot := ws.stamp[:nl], ws.slot[:nl]
+	ws.round++
+	round := ws.round
+	used := ws.used[:0]
 	entries := 0
 	for i, p := range paths {
 		w := weight[i]
@@ -92,39 +109,40 @@ func (ws *MaxMinWorkspace) WeightedMaxMin(capacity []float64, paths [][]int, wei
 			w = 1e-12
 		}
 		for _, l := range p {
+			if stamp[l] != round {
+				stamp[l] = round
+				slot[l] = int32(len(used))
+				used = append(used, l)
+				rem[l] = capacity[l]
+				activeWeight[l], activeCount[l] = 0, 0
+			}
 			activeWeight[l] += w
 			activeCount[l]++
 		}
 		entries += len(p)
 	}
-	// CSR adjacency link → crossing flows, and the compact list of
-	// links any flow uses: rounds then cost O(active links), not
-	// O(all links) — the fluid engine calls this every epoch on
-	// fat-tree-sized networks where most links matter but flows are
-	// few.
-	ws.start = growI(ws.start, nl+1)
-	start := ws.start
+	// CSR adjacency link → crossing flows, indexed by the dense
+	// per-call slot of each touched link: rounds then cost O(touched
+	// links), not O(all links) — the fluid and leap engines call this
+	// constantly on fat-tree-sized networks where flows are few.
+	nu := len(used)
+	ws.start = growI(ws.start, nu+1)
+	ws.fill = growI(ws.fill, nu)
+	start, fill := ws.start[:nu+1], ws.fill[:nu]
 	start[0] = 0
-	for l := 0; l < nl; l++ {
-		start[l+1] = start[l] + activeCount[l]
+	for s, l := range used {
+		start[s+1] = start[s] + activeCount[l]
+		fill[s] = 0
 	}
 	if cap(ws.linkFlows) < entries {
 		ws.linkFlows = make([]int32, entries)
 	}
 	linkFlows := ws.linkFlows[:entries]
-	ws.fill = growI(ws.fill, nl)
-	fill := ws.fill
-	for l := range fill {
-		fill[l] = 0
-	}
-	used := ws.used[:0]
 	for i, p := range paths {
 		for _, l := range p {
-			if fill[l] == 0 {
-				used = append(used, l)
-			}
-			linkFlows[start[l]+fill[l]] = int32(i)
-			fill[l]++
+			s := slot[l]
+			linkFlows[start[s]+fill[s]] = int32(i)
+			fill[s]++
 		}
 	}
 	// Retain used's (possibly regrown) buffer for the next call.
@@ -158,7 +176,8 @@ func (ws *MaxMinWorkspace) WeightedMaxMin(capacity []float64, paths [][]int, wei
 			bestShare = 0
 		}
 		// Freeze all unfrozen flows through the bottleneck.
-		for _, fi := range linkFlows[start[best]:start[best+1]] {
+		bs := slot[best]
+		for _, fi := range linkFlows[start[bs]:start[bs+1]] {
 			i := int(fi)
 			if frozen[i] {
 				continue

@@ -179,6 +179,50 @@ func Permutation(hosts int, rng *sim.RNG) [][2]int {
 	return out
 }
 
+// IncastConfig parameterizes an incast workload: bursts of Senders
+// synchronized flows, all destined for one Receiver host (the §6.1
+// burst scenario — partition/aggregate applications fan a request out
+// and every worker answers at once).
+type IncastConfig struct {
+	// Hosts is the fabric size; senders are drawn from the other
+	// Hosts−1 hosts.
+	Hosts int
+	// Receiver is the common destination host.
+	Receiver int
+	// Senders is the fan-in per burst, capped at Hosts−1.
+	Senders int
+	// SizeBytes is each sender's payload.
+	SizeBytes int64
+	// Bursts is how many bursts arrive, the first at time 0.
+	Bursts int
+	// Interval separates consecutive bursts.
+	Interval sim.Duration
+}
+
+// Incast generates the burst arrival schedule: burst k arrives at
+// exactly k × Interval (every flow of a burst shares one timestamp —
+// the synchronization is the point), from a fresh random subset of
+// distinct senders, none of them the receiver.
+func Incast(cfg IncastConfig, rng *sim.RNG) []Arrival {
+	n := cfg.Senders
+	if max := cfg.Hosts - 1; n > max {
+		n = max
+	}
+	out := make([]Arrival, 0, n*cfg.Bursts)
+	for b := 0; b < cfg.Bursts; b++ {
+		at := sim.Time(0).Add(sim.Duration(b) * cfg.Interval)
+		perm := rng.Perm(cfg.Hosts - 1)
+		for i := 0; i < n; i++ {
+			src := perm[i]
+			if src >= cfg.Receiver {
+				src++
+			}
+			out = append(out, Arrival{At: at, Src: src, Dst: cfg.Receiver, Size: cfg.SizeBytes})
+		}
+	}
+	return out
+}
+
 // RandomPairs returns n random (src, dst) pairs with src ≠ dst, the
 // path population for the semi-dynamic scenario ("we randomly pair
 // 1000 senders and receivers among the 128 servers").

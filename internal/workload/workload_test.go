@@ -130,6 +130,82 @@ func TestPoissonMaxFlows(t *testing.T) {
 	}
 }
 
+func TestPoissonDeterministic(t *testing.T) {
+	cfg := PoissonConfig{
+		Hosts: 32, HostLink: 10 * sim.Gbps, Load: 0.6,
+		CDF: WebSearch(), Duration: 50 * sim.Millisecond,
+	}
+	a := Poisson(cfg, sim.NewRNG(42))
+	b := Poisson(cfg, sim.NewRNG(42))
+	if len(a) == 0 {
+		t.Fatal("no arrivals")
+	}
+	// Byte-identical schedules: every field of every arrival, in order.
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// And a different seed actually changes the schedule.
+	c := Poisson(cfg, sim.NewRNG(43))
+	same := len(a) == len(c)
+	for i := 0; same && i < len(a); i++ {
+		same = a[i] == c[i]
+	}
+	if same {
+		t.Error("different seeds produced identical schedules")
+	}
+}
+
+func TestIncastShape(t *testing.T) {
+	cfg := IncastConfig{
+		Hosts: 32, Receiver: 7, Senders: 12, SizeBytes: 64 << 10,
+		Bursts: 4, Interval: 2 * sim.Millisecond,
+	}
+	arr := Incast(cfg, sim.NewRNG(9))
+	if len(arr) != cfg.Senders*cfg.Bursts {
+		t.Fatalf("got %d arrivals, want %d", len(arr), cfg.Senders*cfg.Bursts)
+	}
+	for b := 0; b < cfg.Bursts; b++ {
+		at := sim.Time(0).Add(sim.Duration(b) * cfg.Interval)
+		seen := map[int]bool{}
+		for i := 0; i < cfg.Senders; i++ {
+			a := arr[b*cfg.Senders+i]
+			if a.At != at {
+				t.Errorf("burst %d flow %d at %v, want synchronized at %v", b, i, a.At, at)
+			}
+			if a.Dst != cfg.Receiver {
+				t.Errorf("burst %d flow %d dst %d, want receiver %d", b, i, a.Dst, cfg.Receiver)
+			}
+			if a.Src == cfg.Receiver || a.Src < 0 || a.Src >= cfg.Hosts {
+				t.Errorf("burst %d flow %d bad src %d", b, i, a.Src)
+			}
+			if seen[a.Src] {
+				t.Errorf("burst %d reuses sender %d", b, a.Src)
+			}
+			seen[a.Src] = true
+			if a.Size != cfg.SizeBytes {
+				t.Errorf("burst %d flow %d size %d, want %d", b, i, a.Size, cfg.SizeBytes)
+			}
+		}
+	}
+}
+
+func TestIncastSendersCapped(t *testing.T) {
+	cfg := IncastConfig{
+		Hosts: 8, Receiver: 0, Senders: 100, SizeBytes: 1 << 10,
+		Bursts: 2, Interval: sim.Millisecond,
+	}
+	arr := Incast(cfg, sim.NewRNG(1))
+	if len(arr) != (cfg.Hosts-1)*cfg.Bursts {
+		t.Fatalf("got %d arrivals, want senders capped at hosts-1 (%d)",
+			len(arr), (cfg.Hosts-1)*cfg.Bursts)
+	}
+}
+
 func TestPermutationIsOneToOne(t *testing.T) {
 	rng := sim.NewRNG(5)
 	pairs := Permutation(64, rng)

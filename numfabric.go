@@ -18,6 +18,13 @@
 //     (fluid.Group) for resource pooling at ≥10k-subflow scale
 //     (select it with RunDynamicWith/RunSemiDynamicWith/
 //     RunPoolingWith or cmd/numfabric's -engine fluid flag);
+//   - an event-driven flow-level engine (internal/leap) that jumps
+//     time straight to the next arrival or completion, recomputing
+//     rates only when the active set changes — exact completion
+//     times, no epoch quantization, and another order of magnitude
+//     on sparse dynamic workloads, reaching million-flow FCT
+//     experiments (EngineLeap, RunDynamicLeap, RunIncastLeap, or
+//     cmd/numfabric's -engine leap flag);
 //   - the utility-function families of the paper's Table 1
 //     (α-fairness, FCT minimization, resource pooling, BwE bandwidth
 //     functions);
@@ -284,6 +291,12 @@ func RunSemiDynamic(cfg SemiDynamicConfig) SemiDynamicResult {
 // (Figure 5).
 type DynamicConfig = harness.DynamicConfig
 
+// DefaultDynamic returns a scaled dynamic-workload configuration for
+// the scheme, size distribution, and load.
+func DefaultDynamic(s Scheme, cdf *workload.SizeCDF, load float64) DynamicConfig {
+	return harness.DefaultDynamic(s, cdf, load)
+}
+
 // DynamicResult holds per-flow FCT records and deviation statistics.
 type DynamicResult = harness.DynamicResult
 
@@ -291,22 +304,51 @@ type DynamicResult = harness.DynamicResult
 // Oracle.
 func RunDynamic(cfg DynamicConfig) DynamicResult { return harness.RunDynamic(cfg) }
 
-// EngineType selects the execution engine for experiment drivers:
-// the faithful packet-level simulator or the fluid fast path.
+// EngineType selects the execution engine for experiment drivers: the
+// faithful packet-level simulator, the fluid epoch fast path, or the
+// event-driven leap fast path.
 type EngineType = harness.Engine
 
 // The available engines.
 const (
 	EnginePacket = harness.EnginePacket
 	EngineFluid  = harness.EngineFluid
+	EngineLeap   = harness.EngineLeap
 )
+
+// ParseEngine parses an engine name ("packet", "fluid", or "leap");
+// unknown names error, listing the valid engines.
+func ParseEngine(s string) (EngineType, error) { return harness.ParseEngine(s) }
 
 // RunDynamicWith runs the dynamic-workload experiment on the chosen
 // engine; EngineFluid runs the identical workload at flow granularity,
-// orders of magnitude faster.
+// orders of magnitude faster, and EngineLeap runs it event-driven —
+// exact completion times, cycles spent only at arrivals/departures.
 func RunDynamicWith(e EngineType, cfg DynamicConfig) DynamicResult {
 	return harness.RunDynamicWith(e, cfg)
 }
+
+// RunDynamicLeap runs the dynamic-workload experiment on the
+// event-driven leap engine (the EngineLeap shortcut).
+func RunDynamicLeap(cfg DynamicConfig) DynamicResult {
+	return harness.RunDynamicLeap(cfg)
+}
+
+// IncastConfig configures the incast burst scenario: N synchronized
+// senders converging on one receiver (§6.1-style bursts).
+type IncastConfig = harness.IncastConfig
+
+// IncastResult holds per-flow records and per-burst completion times.
+type IncastResult = harness.IncastResult
+
+// DefaultIncast returns a scaled incast scenario (16 senders × 64 KB
+// bursts into one host).
+func DefaultIncast() IncastConfig { return harness.DefaultIncast() }
+
+// RunIncastLeap plays the incast workload through the event-driven
+// leap engine — each burst is one allocation plus one batch of
+// simultaneous completions, the engine's best case.
+func RunIncastLeap(cfg IncastConfig) IncastResult { return harness.RunIncastLeap(cfg) }
 
 // RunSemiDynamicWith runs the §6.1 convergence experiment on the
 // chosen engine.

@@ -157,3 +157,32 @@ func TestFacadeAggregateFlow(t *testing.T) {
 	}
 	agg.Stop()
 }
+
+func TestFacadeLeapEngine(t *testing.T) {
+	if e, err := ParseEngine("leap"); err != nil || e != EngineLeap {
+		t.Fatalf("ParseEngine(leap) = %v, %v", e, err)
+	}
+	cfg := DefaultDynamic(SchemeNUMFabric, WebSearchWorkload(), 0.2)
+	cfg.Flows = 30
+	cfg.SkipFluidIdeal = true
+	res := RunDynamicWith(EngineLeap, cfg)
+	if len(res.Records)+res.Unfinished != cfg.Flows {
+		t.Errorf("leap: %d records + %d unfinished != %d flows",
+			len(res.Records), res.Unfinished, cfg.Flows)
+	}
+}
+
+func TestFacadeIncastLeap(t *testing.T) {
+	cfg := DefaultIncast()
+	cfg.Bursts = 2
+	res := RunIncastLeap(cfg)
+	if res.Unfinished != 0 || len(res.BurstFCTs) != 2 {
+		t.Fatalf("incast: %d unfinished, %d bursts", res.Unfinished, len(res.BurstFCTs))
+	}
+	ideal := float64(cfg.Senders) * float64(cfg.SizeBytes) * 8 / cfg.Topo.HostLink.Float()
+	for b, fct := range res.BurstFCTs {
+		if fct < ideal || fct > 1.2*ideal {
+			t.Errorf("burst %d completion %.4g, want within [1, 1.2]x of %.4g", b, fct, ideal)
+		}
+	}
+}
