@@ -35,9 +35,10 @@ func runLeapFCT(full bool, seed uint64) {
 	ft := fluid.NewFatTree(k, linkRate)
 	fmt.Printf("leap-engine FCT sweep: k=%d fat-tree (%d hosts), websearch, %d flows per load\n",
 		k, ft.Hosts(), nflows)
-	fmt.Printf("%-6s %10s %10s %10s %12s %10s %10s\n",
-		"load", "medNorm", "p95Norm", "flows/s", "events", "allocs", "wall")
-	tab := trace.NewTable("load", "median_norm_fct", "p95_norm_fct", "flows_per_s", "events", "allocs")
+	fmt.Printf("%-6s %10s %10s %10s %12s %10s %9s %8s %8s %10s\n",
+		"load", "medNorm", "p95Norm", "flows/s", "events", "allocs", "avgComp", "maxComp", "workX", "wall")
+	tab := trace.NewTable("load", "median_norm_fct", "p95_norm_fct", "flows_per_s",
+		"events", "allocs", "solved_flows", "max_component", "elided", "full_solve_flows")
 	for _, load := range loads {
 		arrivals, paths := harness.FatTreeWebSearch(ft, load, nflows, sim.NewRNG(seed))
 		eng := leap.NewEngine(ft.Net, leap.Config{Allocator: harness.LeapAllocatorFor(cfg)})
@@ -54,9 +55,17 @@ func runLeapFCT(full bool, seed uint64) {
 		}
 		med, p95 := stats.Median(norm), stats.Percentile(norm, 0.95)
 		rate := float64(len(norm)) / elapsed.Seconds()
-		fmt.Printf("%-6.2f %10.2f %10.2f %10.0f %12d %10d %10v\n",
-			load, med, p95, rate, eng.Events(), eng.Allocs(), elapsed.Round(time.Millisecond))
-		_ = tab.Append(load, med, p95, rate, float64(eng.Events()), float64(eng.Allocs()))
+		s := eng.Stats()
+		// avgComp is the mean flows per allocator solve; workX the
+		// factor saved against re-solving the full active set at every
+		// coupled event (the engine's global-counterfactual counter).
+		avgComp := float64(s.SolvedFlows) / math.Max(float64(s.Allocs), 1)
+		workX := float64(s.FullSolveFlows) / math.Max(float64(s.SolvedFlows), 1)
+		fmt.Printf("%-6.2f %10.2f %10.2f %10.0f %12d %10d %9.1f %8d %8.1f %10v\n",
+			load, med, p95, rate, s.Events, s.Allocs, avgComp, s.MaxComponent, workX,
+			elapsed.Round(time.Millisecond))
+		_ = tab.Append(load, med, p95, rate, float64(s.Events), float64(s.Allocs),
+			float64(s.SolvedFlows), float64(s.MaxComponent), float64(s.Elided), float64(s.FullSolveFlows))
 	}
 	writeCSV("leapfct.csv", tab)
 }

@@ -22,6 +22,23 @@ type Allocator interface {
 	Reset()
 }
 
+// SubsetAllocator is an Allocator that can re-solve a subset of the
+// active flows — a union of connected components of the link-sharing
+// graph — against the full link capacities. The caller guarantees the
+// subset is closed under link sharing: no active flow outside it
+// crosses a link any subset flow crosses. Under that invariant the
+// subset's optimal rates equal its rates in the full allocation, so
+// AllocateSubset must compute exactly what Allocate would have given
+// these flows for these links, while reading and writing only the
+// links the subset crosses. Per-link state on untouched links (the
+// XWI/DGD prices) is preserved, which is what lets the leap engine
+// re-solve one connected component per event while every other
+// component's warm-started state survives.
+type SubsetAllocator interface {
+	Allocator
+	AllocateSubset(net *Network, flows []*Flow, rates []float64)
+}
+
 // scratch holds the per-call path/weight/group views shared by
 // allocators.
 type scratch struct {
@@ -29,6 +46,14 @@ type scratch struct {
 	weights []float64
 	groups  []*Group
 	stamp   int
+
+	// linkStamp/links collect the distinct links a call's flows cross,
+	// in first-touch order — the sparse iteration domain of the subset
+	// allocators. linkStamp is link-indexed but only touched entries
+	// are ever written, so nothing network-wide needs zeroing.
+	linkStamp []int
+	links     []int
+	linkRound int
 }
 
 func (s *scratch) resize(n int) {
@@ -53,6 +78,27 @@ func (s *scratch) collectGroups(flows []*Flow) []*Group {
 		}
 	}
 	return s.groups
+}
+
+// collectLinks gathers the distinct links crossed by flows, in
+// first-touch order. It also leaves linkStamp marking exactly those
+// links with the current linkRound, so callers can test membership.
+func (s *scratch) collectLinks(nl int, flows []*Flow) []int {
+	if cap(s.linkStamp) < nl {
+		s.linkStamp = make([]int, nl)
+	}
+	st := s.linkStamp[:nl]
+	s.linkRound++
+	s.links = s.links[:0]
+	for _, f := range flows {
+		for _, l := range f.Links {
+			if st[l] != s.linkRound {
+				st[l] = s.linkRound
+				s.links = append(s.links, l)
+			}
+		}
+	}
+	return s.links
 }
 
 // groupShareFloor keeps a group member's weight share above zero so an
@@ -144,6 +190,16 @@ func (w *WaterFill) Allocate(net *Network, flows []*Flow, rates []float64) {
 	}
 }
 
+// AllocateSubset computes the weighted max-min allocation for a
+// link-closed subset. WaterFill is stateless and its water-filling is
+// already link-sparse (oracle.MaxMinWorkspace touches only the links
+// the paths cross), so the subset path is Allocate itself: progressive
+// filling over disjoint link sets is separable, so solving the subset
+// alone yields bitwise the rates the full solve gives it.
+func (w *WaterFill) AllocateSubset(net *Network, flows []*Flow, rates []float64) {
+	w.Allocate(net, flows, rates)
+}
+
 // Reset is a no-op: WaterFill is stateless.
 func (w *WaterFill) Reset() {}
 
@@ -196,7 +252,6 @@ type XWI struct {
 	xprev []float64
 	load  []float64
 	res   []float64
-	has   []bool
 }
 
 // NewXWI returns an XWI allocator with Table 2 defaults.
@@ -222,6 +277,19 @@ func (a *XWI) Reset() { a.price = nil }
 // Allocate advances the xWI dynamics by IterPerEpoch price updates and
 // returns the latest water-filling allocation.
 func (a *XWI) Allocate(net *Network, flows []*Flow, rates []float64) {
+	a.allocate(net, flows, rates, false)
+}
+
+// AllocateSubset advances the dynamics for a link-closed subset,
+// touching only the links the subset crosses: the prices of every
+// other link — other components' warm-started state — are left
+// untouched (in particular, idle links outside the subset do not
+// decay, unlike a full Allocate).
+func (a *XWI) AllocateSubset(net *Network, flows []*Flow, rates []float64) {
+	a.allocate(net, flows, rates, true)
+}
+
+func (a *XWI) allocate(net *Network, flows []*Flow, rates []float64, subset bool) {
 	eta, beta, iters := a.defaults()
 	nf, nl := len(flows), net.Links()
 	a.s.resize(nf)
@@ -252,9 +320,13 @@ func (a *XWI) Allocate(net *Network, flows []*Flow, rates []float64) {
 	if cap(a.load) < nl {
 		a.load = make([]float64, nl)
 		a.res = make([]float64, nl)
-		a.has = make([]bool, nl)
 	}
-	load, minRes, hasFlow := a.load[:nl], a.res[:nl], a.has[:nl]
+	load, minRes := a.load[:nl], a.res[:nl]
+	// touched is the links the flows cross (every touched link carries
+	// at least one of them); links outside it are idle — in a full
+	// Allocate their prices decay toward zero, in a subset call they
+	// belong to other components and stay untouched.
+	touched := a.s.collectLinks(nl, flows)
 	groups := a.s.collectGroups(flows)
 	if a.Tol > 0 {
 		if cap(a.xprev) < nf {
@@ -294,8 +366,8 @@ func (a *XWI) Allocate(net *Network, flows []*Flow, rates []float64) {
 			}
 		}
 
-		for l := 0; l < nl; l++ {
-			load[l], hasFlow[l] = 0, false
+		for _, l := range touched {
+			load[l] = 0
 			minRes[l] = math.Inf(1)
 		}
 		for i, f := range flows {
@@ -312,14 +384,9 @@ func (a *XWI) Allocate(net *Network, flows []*Flow, rates []float64) {
 				if res < minRes[l] {
 					minRes[l] = res
 				}
-				hasFlow[l] = true
 			}
 		}
-		for l := 0; l < nl; l++ {
-			if !hasFlow[l] {
-				price[l] *= beta
-				continue
-			}
+		for _, l := range touched {
 			pres := price[l] + minRes[l]
 			u := load[l] / net.Capacity[l]
 			pnew := pres - eta*(1-u)*price[l]
@@ -327,6 +394,16 @@ func (a *XWI) Allocate(net *Network, flows []*Flow, rates []float64) {
 				pnew = 0
 			}
 			price[l] = beta*price[l] + (1-beta)*pnew
+		}
+		if !subset {
+			// Idle links decay toward zero, as the dynamics prescribe
+			// for links traffic has left.
+			st, round := a.s.linkStamp, a.s.linkRound
+			for l := 0; l < nl; l++ {
+				if st[l] != round {
+					price[l] *= beta
+				}
+			}
 		}
 	}
 	copy(rates, x)
@@ -360,6 +437,29 @@ func (o *Oracle) Stationary() bool { return true }
 
 // Allocate solves the NUM problem for the current flow set.
 func (o *Oracle) Allocate(net *Network, flows []*Flow, rates []float64) {
+	res := o.solve(net, flows)
+	o.prices = res.Prices
+	copy(rates, res.Rates)
+}
+
+// AllocateSubset solves the NUM problem for a link-closed subset. The
+// optimum decomposes across connected components, so the subset's
+// solution equals its rates in the full optimum. Warm-start prices are
+// scattered back only for the links the subset crosses; other
+// components' duals survive for their own next solve.
+func (o *Oracle) AllocateSubset(net *Network, flows []*Flow, rates []float64) {
+	res := o.solve(net, flows)
+	if len(o.prices) != net.Links() {
+		o.prices = res.Prices
+	} else {
+		for _, l := range o.s.collectLinks(net.Links(), flows) {
+			o.prices[l] = res.Prices[l]
+		}
+	}
+	copy(rates, res.Rates)
+}
+
+func (o *Oracle) solve(net *Network, flows []*Flow) oracle.Result {
 	maxIter := o.MaxIter
 	if maxIter <= 0 {
 		maxIter = 2000
@@ -378,11 +478,9 @@ func (o *Oracle) Allocate(net *Network, flows []*Flow, rates []float64) {
 		}
 		p.AddFlow(f.Links, f.U)
 	}
-	res := oracle.Solve(p, oracle.SolveOptions{
+	return oracle.Solve(p, oracle.SolveOptions{
 		MaxIter: maxIter, Tol: 1e-7, InitPrices: o.prices,
 	})
-	o.prices = res.Prices
-	copy(rates, res.Rates)
 }
 
 // DGD runs the Low–Lapsley dual-gradient dynamics (§3, Eqs. 3–4) at
@@ -435,6 +533,18 @@ func (a *DGD) Reset() { a.price = nil }
 // Allocate advances the DGD dynamics and returns the (feasibility-
 // projected) rates.
 func (a *DGD) Allocate(net *Network, flows []*Flow, rates []float64) {
+	a.allocate(net, flows, rates, false)
+}
+
+// AllocateSubset advances the dynamics for a link-closed subset,
+// updating prices only on the links the subset crosses; every other
+// link's price — other components' warm-started state — is preserved
+// (in a full Allocate, idle links' prices step toward zero).
+func (a *DGD) AllocateSubset(net *Network, flows []*Flow, rates []float64) {
+	a.allocate(net, flows, rates, true)
+}
+
+func (a *DGD) allocate(net *Network, flows []*Flow, rates []float64, subset bool) {
 	gamma, iters := a.Gamma, a.IterPerEpoch
 	if gamma <= 0 {
 		gamma = 0.2
@@ -469,6 +579,7 @@ func (a *DGD) Allocate(net *Network, flows []*Flow, rates []float64) {
 		a.load = make([]float64, nl)
 	}
 	load := a.load[:nl]
+	touched := a.s.collectLinks(nl, flows)
 	if cap(a.q) < nf {
 		a.q = make([]float64, nf)
 	}
@@ -493,7 +604,7 @@ func (a *DGD) Allocate(net *Network, flows []*Flow, rates []float64) {
 		if len(groups) > 0 {
 			a.groupDemands(groups, flows, q, x, xCap)
 		}
-		for l := range load {
+		for _, l := range touched {
 			load[l] = 0
 		}
 		for i, f := range flows {
@@ -501,10 +612,22 @@ func (a *DGD) Allocate(net *Network, flows []*Flow, rates []float64) {
 				load[l] += x[i]
 			}
 		}
-		for l := 0; l < nl; l++ {
+		for _, l := range touched {
 			price[l] += step * (load[l] - net.Capacity[l])
 			if price[l] < 0 {
 				price[l] = 0
+			}
+		}
+		if !subset {
+			// Idle links carry no load: their prices step toward zero.
+			st, round := a.s.linkStamp, a.s.linkRound
+			for l := 0; l < nl; l++ {
+				if st[l] != round {
+					price[l] -= step * net.Capacity[l]
+					if price[l] < 0 {
+						price[l] = 0
+					}
+				}
 			}
 		}
 		if a.Tol > 0 {

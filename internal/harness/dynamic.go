@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"numfabric/internal/core"
+	"numfabric/internal/leap"
 	"numfabric/internal/netsim"
 	"numfabric/internal/oracle"
 	"numfabric/internal/sim"
@@ -89,6 +90,10 @@ type DynamicResult struct {
 	// Unfinished counts flows that did not complete before the drain
 	// deadline (excluded from Records).
 	Unfinished int
+	// LeapStats is the leap engine's work telemetry (events,
+	// allocations, component sizes) when the run used the leap
+	// engine; nil for the packet and fluid epoch engines.
+	LeapStats *leap.Stats
 }
 
 // Fig5Bins are the flow-size bins of Figure 5, in BDP units.

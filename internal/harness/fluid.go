@@ -7,6 +7,7 @@ import (
 
 	"numfabric/internal/core"
 	"numfabric/internal/fluid"
+	"numfabric/internal/leap"
 	"numfabric/internal/netsim"
 	"numfabric/internal/oracle"
 	"numfabric/internal/queue"
@@ -155,6 +156,10 @@ func runDynamicFlowEngine(cfg DynamicConfig, topo *Topology, eng flowEngine) Dyn
 	ideal := dynamicIdeals(cfg, topo, arrivals, spines)
 	d0 := cfg.Topo.BaseRTT().Seconds()
 	res := DynamicResult{BDP: cfg.Topo.HostLink.Float() / 8 * cfg.Topo.BaseRTT().Seconds()}
+	if le, ok := eng.(interface{ Stats() leap.Stats }); ok {
+		s := le.Stats()
+		res.LeapStats = &s
+	}
 	for i, f := range flows {
 		if !f.Done() {
 			res.Unfinished++

@@ -105,9 +105,12 @@ type IncastResult struct {
 	Records []FlowRecord
 	// BurstFCTs[k] is burst k's completion time: the FCT of its
 	// slowest flow (all Senders flows share the receiver's host link,
-	// so the ideal is Senders × SizeBytes × 8 / hostLink + RTT).
+	// so the ideal is Senders × SizeBytes × 8 / hostLink + RTT —
+	// each Record's IdealFCT).
 	BurstFCTs  []float64
 	Unfinished int
+	// Stats is the leap engine's work telemetry for the run.
+	Stats leap.Stats
 }
 
 // RunIncastLeap plays the incast workload through the leap engine —
@@ -144,7 +147,17 @@ func RunIncastLeap(cfg IncastConfig) IncastResult {
 	leng.Run(math.Inf(1))
 
 	d0 := cfg.Topo.BaseRTT().Seconds()
-	res := IncastResult{BurstFCTs: make([]float64, cfg.Bursts)}
+	// The incast ideal is the documented fan-in bound: a burst's flows
+	// all share the receiver's host link, so even a perfect transport
+	// needs Senders × SizeBytes × 8 / hostLink (+ the base RTT). Every
+	// record gets it — a NaN here used to silently poison any
+	// downstream slowdown percentile.
+	senders := cfg.Senders
+	if max := len(topo.Hosts) - 1; senders > max {
+		senders = max
+	}
+	idealFCT := float64(senders)*float64(cfg.SizeBytes)*8/cfg.Topo.HostLink.Float() + d0
+	res := IncastResult{BurstFCTs: make([]float64, cfg.Bursts), Stats: leng.Stats()}
 	for i, f := range flows {
 		if !f.Done() {
 			res.Unfinished++
@@ -155,7 +168,7 @@ func RunIncastLeap(cfg IncastConfig) IncastResult {
 			Size:     f.SizeBytes,
 			Start:    arrivals[i].At,
 			FCT:      fct,
-			IdealFCT: math.NaN(),
+			IdealFCT: idealFCT,
 		})
 		if b := burstOf[i]; fct > res.BurstFCTs[b] {
 			res.BurstFCTs[b] = fct

@@ -142,6 +142,23 @@ func TestRunIncastLeap(t *testing.T) {
 			t.Errorf("burst %d completion %.4gs, want ≈ %.4gs (±10%%)", b, fct, ideal)
 		}
 	}
+	// Every record carries the documented fan-in ideal — no NaNs, so
+	// downstream slowdown percentiles stay real numbers. Regression:
+	// IdealFCT used to be stamped math.NaN().
+	for i, rec := range res.Records {
+		if math.IsNaN(rec.IdealFCT) || math.IsNaN(rec.FCT) {
+			t.Fatalf("record %d has NaN: %+v", i, rec)
+		}
+		if math.Abs(rec.IdealFCT-ideal)/ideal > 1e-9 {
+			t.Errorf("record %d IdealFCT = %v, want fan-in ideal %v", i, rec.IdealFCT, ideal)
+		}
+		if slow := rec.FCT / rec.IdealFCT; math.IsNaN(slow) || slow <= 0 {
+			t.Errorf("record %d slowdown = %v, want positive", i, slow)
+		}
+	}
+	if res.Stats.Events == 0 {
+		t.Error("engine stats not surfaced in IncastResult")
+	}
 }
 
 // TestRunIncastLeapSingleBurst: a one-burst config with the Interval

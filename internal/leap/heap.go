@@ -3,13 +3,19 @@ package leap
 import "numfabric/internal/fluid"
 
 // event is one scheduled completion: a finite flow or a finite group
-// emptying at time t under the rates of the latest allocation. Ties
-// break deterministically on (id, kind): flow and group IDs are each
-// dense in their own sequence, so two events can share an id across
-// kinds, and before() then orders the flow ahead of the group.
+// emptying at time t under the rate set when the event was pushed. ep
+// is the owner's reallocation epoch at push time; when a component is
+// re-solved the engine bumps its members' epochs, so events from
+// superseded allocations go stale in place and are discarded lazily
+// when they surface at the top of the heap (or in a compaction sweep)
+// instead of costing an O(n) heap rebuild per allocation. Ties break
+// deterministically on (id, kind): flow and group IDs are each dense
+// in their own sequence, so two events can share an id across kinds,
+// and before() then orders the flow ahead of the group.
 type event struct {
 	t  float64
 	id int
+	ep uint32
 	f  *fluid.Flow  // nil for group events
 	g  *fluid.Group // nil for flow events
 }
@@ -27,31 +33,15 @@ func (e event) before(o event) bool {
 }
 
 // eventHeap is a binary min-heap of completion events keyed on
-// (time, id). Every allocation changes every completion time, so the
-// engine refills the backing slice and calls init (O(n) heapify) after
-// each rate recomputation; pops between recomputations are O(log n).
+// (time, id). Events are pushed one at a time (O(log n)) as rates
+// change; stale events (superseded epochs) are the engine's to detect
+// and skip at pop time, and compact() sweeps them out wholesale when
+// they accumulate.
 type eventHeap struct {
 	ev []event
 }
 
-// reset empties the heap, keeping the backing array.
-func (h *eventHeap) reset() { h.ev = h.ev[:0] }
-
-// add appends an event without restoring heap order; call init after
-// the batch.
-func (h *eventHeap) add(e event) { h.ev = append(h.ev, e) }
-
-// init establishes heap order over the appended events (heapify).
-func (h *eventHeap) init() {
-	n := len(h.ev)
-	for i := n/2 - 1; i >= 0; i-- {
-		h.down(i)
-	}
-}
-
-// push inserts one event into an already-ordered heap (O(log n)) —
-// the independent-arrival fast path, where one new completion joins
-// an otherwise unchanged schedule.
+// push inserts one event (O(log n)).
 func (h *eventHeap) push(e event) {
 	h.ev = append(h.ev, e)
 	i := len(h.ev) - 1
@@ -65,7 +55,7 @@ func (h *eventHeap) push(e event) {
 	}
 }
 
-// len returns the number of pending events.
+// len returns the number of events, live and stale.
 func (h *eventHeap) len() int { return len(h.ev) }
 
 // top returns the earliest event; valid only when len() > 0.
@@ -81,6 +71,26 @@ func (h *eventHeap) pop() event {
 		h.down(0)
 	}
 	return e
+}
+
+// compact drops every event keep rejects and re-establishes heap
+// order over the survivors (one O(n) heapify) — the engine's bulk
+// stale-event sweep.
+func (h *eventHeap) compact(keep func(event) bool) {
+	w := 0
+	for _, e := range h.ev {
+		if keep(e) {
+			h.ev[w] = e
+			w++
+		}
+	}
+	for i := w; i < len(h.ev); i++ {
+		h.ev[i] = event{}
+	}
+	h.ev = h.ev[:w]
+	for i := w/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
 }
 
 func (h *eventHeap) down(i int) {

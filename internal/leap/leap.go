@@ -17,36 +17,52 @@
 //
 // The engine reuses the fluid package wholesale: fluid.Network link
 // capacities, fluid.Flow/fluid.Group state, and every fluid.Allocator
-// (WaterFill, XWI, DGD, Oracle). One allocation runs per active-set
-// change. For the stationary allocators (WaterFill, Oracle) the result
-// is exact: rates are a pure function of the active set, so holding
-// them constant between events loses nothing. For the dynamic
-// allocators (XWI, DGD) each event runs the allocator's IterPerEpoch
-// internal iterations once — configure enough iterations to reach the
-// fixed point (prices warm-start across events) and the engine models
-// a transport that converges between events, which the paper measures
-// to take only tens of RTTs; the epoch engine remains the tool for
-// studying the convergence transient itself.
+// (WaterFill, XWI, DGD, Oracle). For the stationary allocators
+// (WaterFill, Oracle) event-driven advancement is exact: rates are a
+// pure function of the active set, so holding them constant between
+// events loses nothing. For the dynamic allocators (XWI, DGD) each
+// event runs the allocator's IterPerEpoch internal iterations once —
+// configure enough iterations to reach the fixed point (prices
+// warm-start across events) and the engine models a transport that
+// converges between events, which the paper measures to take only
+// tens of RTTs; the epoch engine remains the tool for studying the
+// convergence transient itself.
 //
-// Completion times live in an event heap keyed on the times implied by
-// the latest allocation. Every allocation shifts every completion, so
-// the heap is rebuilt (one O(n) heapify) per rate recomputation and
-// popped in O(log n) for the — possibly simultaneous — completions of
-// the next event. The active set is maintained incrementally: arrivals
-// append, completions compact in place, per-link active-flow counts
-// track who shares what, and the flow slice is handed to the allocator
-// as-is, in stable arrival order, which keeps event orderings
-// bit-deterministic for a fixed schedule.
+// Work is bounded by LOCAL events, not events: an arrival or
+// departure can only disturb the flows in its own connected component
+// of the link-sharing graph (flows are vertices, sharing a link is an
+// edge, and a multipath group's members are linked through their
+// shared payload), because the component's flows collectively see
+// every unit of capacity on every link they cross — no flow outside
+// it competes there. So each coupled event re-solves just the touched
+// component(s), via the allocators' link-closed subset path
+// (fluid.SubsetAllocator): the engine keeps a per-link index of
+// active flows, floods out from the event's flows to collect the
+// component, and hands exactly those flows to the allocator against
+// the full link capacities. Flows in untouched components provably
+// keep their rates, and their scheduled completions stay valid.
 //
-// The link counts buy the engine's second big win, independence
-// elision: a single-path flow that shares no link with any active flow
-// provably cannot change anyone else's allocation, so its arrival
-// skips the allocator — it takes its path's minimum capacity, the
-// single-flow optimum under any increasing utility — and pushes one
-// heap event, and a departure that leaves every one of its links
-// empty pops one. On sparse workloads, where most flows run alone at
-// line rate, most events reduce to O(path length + log n) and the
-// allocator runs only for the minority of genuinely coupled events.
+// Completion times live in an event heap keyed on the times implied
+// by each flow's latest rate. Re-solving a component resplices only
+// that component's events: members carry a reallocation epoch, stale
+// events are discarded lazily when they surface (with a bulk sweep
+// when they pile up), and — because a completion time computed from
+// an unchanged rate is still exact — a member whose re-solved rate
+// came back identical keeps its event untouched. The active set is
+// maintained incrementally: arrivals append, completions compact in
+// place, and a component is always handed to the allocator in stable
+// admission order, which keeps event orderings bit-deterministic for
+// a fixed schedule.
+//
+// The limiting fast paths fall out of the same machinery: a
+// single-path flow that shares no link with any active flow is a
+// component of size one, so its arrival takes its path's minimum
+// capacity (the single-flow optimum under any increasing utility) and
+// pushes one heap event with no allocator call at all, and a
+// departure that leaves its links empty pops one. On sparse
+// workloads, where most flows run alone at line rate, most events
+// reduce to O(path length + log n) — and even the coupled minority
+// pays for its few-flow component, not for the whole active set.
 package leap
 
 import (
@@ -63,6 +79,14 @@ type Config struct {
 	// fluid.NewWaterFill() — stationary, so event-driven advancement
 	// is exact).
 	Allocator fluid.Allocator
+	// Global disables component-local reallocation and the
+	// independence elision: every coupled arrival and every departure
+	// re-solves the full active set. The A/B switch for verifying the
+	// component machinery (rates and completions must come out
+	// byte-identical under stationary allocators) and for measuring
+	// the allocator work it saves. Engines whose Allocator does not
+	// implement fluid.SubsetAllocator run Global regardless.
+	Global bool
 }
 
 func (c Config) withDefaults() Config {
@@ -72,12 +96,98 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Stats is the engine's work telemetry: what the run cost, in the
+// units that explain the event-driven design.
+type Stats struct {
+	// Events is how many events (arrival instants and completion
+	// batches) were processed.
+	Events int
+	// Allocs is how many allocator solves ran — one per coupled event
+	// whose component holds more than one flow.
+	Allocs int
+	// SolvedFlows is the total flows handed to the allocator across
+	// all solves (allocations × flows-per-solve), the engine's real
+	// allocator work.
+	SolvedFlows int
+	// MaxComponent is the largest single solve's flow count.
+	MaxComponent int
+	// Elided is how many active-set changes were handled with no
+	// allocator call at all: isolated arrivals and size-one components
+	// (both take the path's minimum capacity), plus departures that
+	// left nothing behind to re-solve.
+	Elided int
+	// FullSolveFlows is the counterfactual SolvedFlows of the
+	// pre-component engine (global re-solves with the isolated-arrival
+	// elision it already had): the full active-set size, summed over
+	// every event that reaches reallocation — size-one components
+	// included, since only component tracking can elide those — while
+	// isolated arrivals stay free on both sides of the comparison.
+	// SolvedFlows / FullSolveFlows is therefore a conservative
+	// component-local win; a fully global engine with no elision at
+	// all pays far more still (Config{Global}, measured by
+	// BenchmarkLeapComponents).
+	FullSolveFlows int
+}
+
+// flowState is the engine's per-flow bookkeeping, packed to 16 bytes
+// so a million-flow run stays cache-friendly: refT is the time the
+// flow's rate was last set — payload drain is lazy, Remaining holds
+// the payload as of refT and is materialized via
+// Remaining -= (now − refT) × rate / 8 only when the rate actually
+// changes, so an event costs its component, not a sweep over every
+// active flow (and a same-instant rate change drains exactly zero,
+// keeping component-local runs bitwise equal to global ones); seq is
+// the admission sequence number components are sorted by; and bits
+// holds the reallocation epoch (heap events carry the epoch they were
+// pushed under; a mismatch marks them stale) plus the flag bits below.
+type flowState struct {
+	refT float64
+	bits uint32
+	seq  int32
+}
+
+// flowState/groupState bits: three flags and a 29-bit epoch. evBit
+// marks a live heap event, seededBit a pending reallocation seed,
+// inCompBit membership in the component being collected.
+const (
+	evBit     = 1 << 0
+	seededBit = 1 << 1
+	inCompBit = 1 << 2
+	epShift   = 3
+	epInc     = 1 << epShift
+	epMask    = ^uint32(epInc - 1)
+)
+
+// groupState is the per-group analog: mark is the component flood's
+// visited stamp and the seededBit slot doubles as the per-apply
+// "member rate moved" flag (the two uses never overlap in time).
+type groupState struct {
+	refT float64
+	bits uint32
+	mark int
+}
+
+// grow returns s with its backing array doubled once length reaches
+// capacity: for multi-megabyte slices the runtime's growth factor
+// drops to 1.25×, and the reallocation churn is measurable at a
+// million flows. Use as append(grow(s), ...).
+func grow[T any](s []T) []T {
+	if len(s) == cap(s) {
+		g := make([]T, len(s), 2*cap(s)+64)
+		copy(g, s)
+		return g
+	}
+	return s
+}
+
 // Engine advances a fluid network event by event. Between events every
 // rate is constant, so the state at the next event follows in closed
 // form; nothing is simulated in between.
 type Engine struct {
-	net   *fluid.Network
-	alloc fluid.Allocator
+	net    *fluid.Network
+	alloc  fluid.Allocator
+	sub    fluid.SubsetAllocator // nil in global mode
+	global bool
 
 	now      float64
 	pending  []*fluid.Flow // arrival order; pending[next:] not yet admitted
@@ -90,35 +200,64 @@ type Engine struct {
 	finished       []*fluid.Flow
 	finishedGroups []*fluid.Group
 
-	rates   []float64
-	heap    eventHeap
+	rates []float64
+	heap  eventHeap
+	// staleEv counts heap events invalidated by a reallocation but not
+	// yet discarded; when they outnumber the live ones the heap is
+	// swept in one pass.
+	staleEv int
+	// changed is the global mode's full-re-solve latch.
 	changed bool
-	// linkCount[l] is how many active flows cross link l, maintained
-	// incrementally on admit/retire. It powers the independence fast
-	// path: a single-path flow that shares no link with any active
-	// flow provably cannot change anyone else's allocation, so its
-	// arrival (rate = its path's minimum capacity, the single-flow
-	// optimum for any increasing utility) and its departure skip the
-	// global rate recomputation and splice one event in or out of the
-	// heap instead.
-	linkCount []int
+
+	// linkFlows[l] lists the active flows crossing link l, maintained
+	// exactly: arrivals append, departures swap-remove. It is the
+	// link-sharing index — the isolation fast-path check is a length
+	// test and the component flood traverses it as the adjacency.
+	// Global mode keeps no index (every change re-solves everything).
+	linkFlows [][]*fluid.Flow
+	linkMark  []int // links visited by the current flood (stamp = round)
+	round     int
+
+	// fs[id] is the per-flow engine state (flow IDs are dense); gs[id]
+	// the per-group analog.
+	fs     []flowState
+	gs     []groupState
+	nadmit int32
+
+	// touched seeds the next component flood: flows whose arrival
+	// coupled them to someone, and the still-active neighbors of
+	// departures. Cleared by reallocate.
+	touched []*fluid.Flow
+	comp    []*fluid.Flow
+	compG   []*fluid.Group
 
 	nextID      int
 	nextGroupID int
 
-	allocs int
-	events int
+	events    int
+	allocs    int
+	solved    int
+	maxComp   int
+	elided    int
+	fullSolve int
 }
 
 // NewEngine returns an event-driven engine over net.
 func NewEngine(net *fluid.Network, cfg Config) *Engine {
 	cfg = cfg.withDefaults()
-	return &Engine{
-		net:       net,
-		alloc:     cfg.Allocator,
-		inActive:  make(map[*fluid.Group]bool),
-		linkCount: make([]int, net.Links()),
+	sub, ok := cfg.Allocator.(fluid.SubsetAllocator)
+	e := &Engine{
+		net:      net,
+		alloc:    cfg.Allocator,
+		inActive: make(map[*fluid.Group]bool),
+		global:   cfg.Global || !ok,
 	}
+	if !e.global {
+		e.sub = sub
+		e.linkFlows = make([][]*fluid.Flow, net.Links())
+		e.linkMark = make([]int, net.Links())
+	}
+	return e
 }
 
 // Now returns the current simulated time in seconds.
@@ -138,12 +277,23 @@ func (e *Engine) Finished() []*fluid.Flow { return e.finished }
 // FinishedGroups returns every completed group, in completion order.
 func (e *Engine) FinishedGroups() []*fluid.Group { return e.finishedGroups }
 
-// Allocs returns how many rate allocations have run — one per
-// active-set change, the engine's unit of real work.
+// Allocs returns how many allocator solves have run.
 func (e *Engine) Allocs() int { return e.allocs }
 
 // Events returns how many events have been processed.
 func (e *Engine) Events() int { return e.events }
+
+// Stats returns the engine's work telemetry so far.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Events:         e.events,
+		Allocs:         e.allocs,
+		SolvedFlows:    e.solved,
+		MaxComponent:   e.maxComp,
+		Elided:         e.elided,
+		FullSolveFlows: e.fullSolve,
+	}
+}
 
 // AddFlow schedules a flow over links, arriving at time at (seconds;
 // at ≤ Now admits it on the next Step), with utility u and payload
@@ -151,10 +301,11 @@ func (e *Engine) Events() int { return e.events }
 func (e *Engine) AddFlow(links []int, u core.Utility, sizeBytes int64, at float64) *fluid.Flow {
 	f := fluid.NewFlow(e.nextID, links, u, sizeBytes, at)
 	e.nextID++
+	e.fs = append(grow(e.fs), flowState{})
 	if n := len(e.pending); n > 0 && at < e.pending[n-1].Arrive {
 		e.unsorted = true
 	}
-	e.pending = append(e.pending, f)
+	e.pending = append(grow(e.pending), f)
 	return f
 }
 
@@ -166,6 +317,7 @@ func (e *Engine) AddFlow(links []int, u core.Utility, sizeBytes int64, at float6
 func (e *Engine) AddGroup(paths [][]int, u core.Utility, sizeBytes int64, at float64) *fluid.Group {
 	g := fluid.NewGroup(e.nextGroupID, u, sizeBytes, at)
 	e.nextGroupID++
+	e.gs = append(e.gs, groupState{})
 	for _, links := range paths {
 		g.AddMember(e.AddFlow(links, u, 0, at))
 	}
@@ -175,8 +327,9 @@ func (e *Engine) AddGroup(paths [][]int, u core.Utility, sizeBytes int64, at flo
 // admitDue moves every pending flow with Arrive ≤ now into the active
 // set. A single-path flow whose links carry no other active flow takes
 // the independence fast path — rate set to its path's minimum capacity
-// and one completion event pushed, no global reallocation; everything
-// else marks the active set changed.
+// and one completion event pushed, no allocation; everything else
+// seeds the next component re-solve (or, in global mode, latches the
+// full one).
 func (e *Engine) admitDue() {
 	if e.unsorted {
 		rest := e.pending[e.next:]
@@ -186,160 +339,445 @@ func (e *Engine) admitDue() {
 	n := e.next
 	for n < len(e.pending) && e.pending[n].Arrive <= e.now {
 		f := e.pending[n]
-		iso := !e.changed && f.Group == nil && e.isolated(f)
-		for _, l := range f.Links {
-			e.linkCount[l]++
+		e.fs[f.ID].seq = e.nadmit
+		e.nadmit++
+		iso := false
+		if !e.global {
+			iso = f.Group == nil && e.isolated(f)
+			for _, l := range f.Links {
+				e.linkFlows[l] = append(e.linkFlows[l], f)
+			}
 		}
 		e.active = append(e.active, f)
 		if g := f.Group; g != nil && !e.inActive[g] {
 			e.inActive[g] = true
 			e.activeGroups = append(e.activeGroups, g)
 		}
-		if iso {
+		switch {
+		case iso:
 			e.admitIsolated(f)
-		} else {
+		case e.global:
 			e.changed = true
+		default:
+			e.seed(f)
 		}
 		n++
 	}
 	e.next = n
 }
 
-// solo reports whether f is the only active flow on every one of its
-// links (checked before its counts are released).
-func (e *Engine) solo(f *fluid.Flow) bool {
-	for _, l := range f.Links {
-		if e.linkCount[l] != 1 {
-			return false
-		}
-	}
-	return true
-}
-
 // isolated reports whether none of f's links carry an active flow.
 func (e *Engine) isolated(f *fluid.Flow) bool {
 	for _, l := range f.Links {
-		if e.linkCount[l] != 0 {
+		if len(e.linkFlows[l]) != 0 {
 			return false
 		}
 	}
 	return true
 }
 
-// admitIsolated gives an independent flow its single-flow optimum —
-// the minimum capacity along its path, which any increasing utility
-// wants in full — and splices its completion into the schedule.
-func (e *Engine) admitIsolated(f *fluid.Flow) {
+// pathMinCap returns the minimum capacity along f's path — the
+// single-flow optimum, which any increasing utility wants in full.
+func (e *Engine) pathMinCap(f *fluid.Flow) float64 {
 	rate := math.Inf(1)
 	for _, l := range f.Links {
 		if c := e.net.Capacity[l]; c < rate {
 			rate = c
 		}
 	}
-	f.Rate = rate
-	if f.SizeBytes > 0 && rate > 0 {
-		e.heap.push(event{t: e.now + f.Remaining*8/rate, id: f.ID, f: f})
+	return rate
+}
+
+// admitIsolated gives an independent flow its single-flow optimum and
+// splices its completion into the schedule.
+func (e *Engine) admitIsolated(f *fluid.Flow) {
+	f.Rate = e.pathMinCap(f)
+	e.fs[f.ID].refT = e.now
+	e.elided++
+	if f.SizeBytes > 0 && f.Rate > 0 {
+		e.pushFlowEvent(f)
 	}
 }
 
-// allocate recomputes rates for the current active set and rebuilds
-// the completion-event heap from the new rates.
-func (e *Engine) allocate() {
+// seed queues f's component for the next reallocation.
+func (e *Engine) seed(f *fluid.Flow) {
+	st := &e.fs[f.ID]
+	if st.bits&seededBit != 0 {
+		return
+	}
+	st.bits |= seededBit
+	e.touched = append(e.touched, f)
+}
+
+// unlink removes a departing f from its links' lists and seeds the
+// neighbors it leaves behind — the flows whose component just gained
+// capacity. It reports whether there were any; false is the solo
+// departure, whose capacity was visible to nobody, so the remaining
+// schedule stands.
+func (e *Engine) unlink(f *fluid.Flow) (coupled bool) {
+	for _, l := range f.Links {
+		lf := e.linkFlows[l]
+		for i, n := range lf {
+			if n == f {
+				last := len(lf) - 1
+				lf[i] = lf[last]
+				lf[last] = nil
+				lf = lf[:last]
+				e.linkFlows[l] = lf
+				break
+			}
+		}
+		for _, n := range lf {
+			coupled = true
+			e.seed(n)
+		}
+	}
+	return coupled
+}
+
+// enqueue adds f to the component being collected, once.
+func (e *Engine) enqueue(f *fluid.Flow) {
+	st := &e.fs[f.ID]
+	if f.Done() || st.bits&inCompBit != 0 {
+		return
+	}
+	st.bits |= inCompBit
+	e.comp = append(e.comp, f)
+}
+
+// collectComponent floods out from the pending seeds over the
+// link-sharing graph (link lists for link neighbors, group membership
+// for payload coupling) and returns the union of the touched connected
+// components — flows in stable admission order, plus the groups they
+// span. Seeds that already completed contribute nothing. Completed
+// flows are compacted out of every link list the flood scans.
+func (e *Engine) collectComponent() ([]*fluid.Flow, []*fluid.Group) {
+	e.round++
+	e.comp = e.comp[:0]
+	e.compG = e.compG[:0]
+	for _, f := range e.touched {
+		e.fs[f.ID].bits &^= seededBit
+		e.enqueue(f)
+	}
+	e.touched = e.touched[:0]
+	for i := 0; i < len(e.comp); i++ {
+		f := e.comp[i]
+		if g := f.Group; g != nil && e.gs[g.ID].mark != e.round {
+			e.gs[g.ID].mark = e.round
+			e.compG = append(e.compG, g)
+			for _, m := range g.Members {
+				e.enqueue(m)
+			}
+		}
+		for _, l := range f.Links {
+			if e.linkMark[l] == e.round {
+				continue
+			}
+			e.linkMark[l] = e.round
+			for _, n := range e.linkFlows[l] {
+				e.enqueue(n)
+			}
+		}
+	}
+	for _, f := range e.comp {
+		e.fs[f.ID].bits &^= inCompBit
+	}
+	// Insertion sort into admission order: components are small, and
+	// this dodges sort.Slice's per-call overhead on the hot path.
+	comp := e.comp
+	for i := 1; i < len(comp); i++ {
+		f := comp[i]
+		k := e.fs[f.ID].seq
+		j := i - 1
+		for j >= 0 && e.fs[comp[j].ID].seq > k {
+			comp[j+1] = comp[j]
+			j--
+		}
+		comp[j+1] = f
+	}
+	return comp, e.compG
+}
+
+// invalidateFlow bumps f's epoch, marking any heap event it has stale.
+func (e *Engine) invalidateFlow(f *fluid.Flow) {
+	s := &e.fs[f.ID]
+	if s.bits&evBit != 0 {
+		e.staleEv++
+	}
+	s.bits = (s.bits + epInc) &^ evBit
+}
+
+func (e *Engine) invalidateGroup(g *fluid.Group) {
+	s := &e.gs[g.ID]
+	if s.bits&evBit != 0 {
+		e.staleEv++
+	}
+	s.bits = (s.bits + epInc) &^ evBit
+}
+
+func (e *Engine) pushFlowEvent(f *fluid.Flow) {
+	s := &e.fs[f.ID]
+	s.bits |= evBit
+	e.heap.push(event{t: e.now + f.Remaining*8/f.Rate, id: f.ID, ep: s.bits & epMask, f: f})
+}
+
+func (e *Engine) pushGroupEvent(g *fluid.Group) {
+	s := &e.gs[g.ID]
+	s.bits |= evBit
+	e.heap.push(event{t: e.now + g.Remaining*8/g.Rate(), id: g.ID, ep: s.bits & epMask, g: g})
+}
+
+// valid reports whether a heap event is still live: its owner running
+// and its epoch current.
+func (e *Engine) valid(ev event) bool {
+	if ev.f != nil {
+		return ev.ep == e.fs[ev.f.ID].bits&epMask && !ev.f.Done()
+	}
+	return ev.ep == e.gs[ev.g.ID].bits&epMask && !ev.g.Done()
+}
+
+// pruneStale discards stale events sitting on top of the heap so
+// top() is a live completion. staleEv == 0 proves every event valid
+// (stale ones are counted when their owner's epoch is bumped), so the
+// common all-live case costs one comparison.
+func (e *Engine) pruneStale() {
+	for e.staleEv > 0 && e.heap.len() > 0 && !e.valid(e.heap.top()) {
+		e.heap.pop()
+		e.staleEv--
+	}
+}
+
+// maybeCompact sweeps the heap when stale events outnumber live ones.
+func (e *Engine) maybeCompact() {
+	if e.staleEv > 64 && 2*e.staleEv > e.heap.len() {
+		e.heap.compact(e.valid)
+		e.staleEv = 0
+	}
+}
+
+// applyFlowRate installs a non-member flow's new rate and resplices
+// its completion event if the rate actually moved. A completion time
+// computed from an unchanged rate is still exact — drain is linear —
+// so the existing event stands untouched, which is what keeps
+// untouched rates' schedules byte-stable across other components'
+// reallocations.
+func (e *Engine) applyFlowRate(f *fluid.Flow, rate float64) {
+	old := f.Rate
+	if f.SizeBytes == 0 {
+		f.Rate = rate
+		return
+	}
+	if rate == old && (e.fs[f.ID].bits&evBit != 0) == (rate > 0) {
+		return
+	}
+	s := &e.fs[f.ID]
+	if old > 0 {
+		// Materialize the lazy drain under the outgoing rate. A
+		// same-instant change (now == refT) drains exactly zero.
+		f.Remaining -= (e.now - s.refT) * old / 8
+		if f.Remaining < 0 {
+			f.Remaining = 0
+		}
+	}
+	s.refT = e.now
+	f.Rate = rate
+	e.invalidateFlow(f)
+	if rate > 0 {
+		e.pushFlowEvent(f)
+	}
+}
+
+// applyRates installs freshly solved rates for flows (and the groups
+// they span) and resplices exactly the events whose rates moved.
+func (e *Engine) applyRates(flows []*fluid.Flow, groups []*fluid.Group, rates []float64) {
+	// Detect member-rate movement, then materialize the moved groups'
+	// lazy drain at their outgoing total, before any rate is installed.
+	for _, g := range groups {
+		e.gs[g.ID].bits &^= seededBit
+	}
+	for i, f := range flows {
+		if g := f.Group; g != nil && rates[i] != f.Rate {
+			e.gs[g.ID].bits |= seededBit
+		}
+	}
+	for _, g := range groups {
+		if g.SizeBytes == 0 || e.gs[g.ID].bits&seededBit == 0 {
+			continue
+		}
+		s := &e.gs[g.ID]
+		if total := g.Rate(); total > 0 {
+			g.Remaining -= (e.now - s.refT) * total / 8
+			if g.Remaining < 0 {
+				g.Remaining = 0
+			}
+		}
+		s.refT = e.now
+	}
+	for i, f := range flows {
+		if f.Group != nil {
+			f.Rate = rates[i]
+			continue
+		}
+		e.applyFlowRate(f, rates[i])
+	}
+	for _, g := range groups {
+		if g.SizeBytes == 0 {
+			continue
+		}
+		total := g.Rate()
+		gb := e.gs[g.ID].bits
+		if gb&seededBit == 0 && (gb&evBit != 0) == (total > 0) {
+			continue
+		}
+		e.invalidateGroup(g)
+		if total > 0 {
+			e.pushGroupEvent(g)
+		}
+	}
+}
+
+// reallocate re-solves the component(s) the pending seeds touch. A
+// component of one plain flow needs no allocator at all: it takes its
+// path's minimum capacity, the same independence elision its arrival
+// fast path uses, generalized to departures that strand a lone
+// neighbor.
+func (e *Engine) reallocate() {
+	comp, groups := e.collectComponent()
+	if len(comp) == 0 {
+		return
+	}
+	e.fullSolve += len(e.active)
+	if len(comp) == 1 && comp[0].Group == nil {
+		e.elided++
+		e.applyFlowRate(comp[0], e.pathMinCap(comp[0]))
+		e.maybeCompact()
+		return
+	}
+	n := len(comp)
+	if cap(e.rates) < n {
+		e.rates = make([]float64, 2*n)
+	}
+	rates := e.rates[:n]
+	e.sub.AllocateSubset(e.net, comp, rates)
+	e.allocs++
+	e.solved += n
+	if n > e.maxComp {
+		e.maxComp = n
+	}
+	e.applyRates(comp, groups, rates)
+	e.maybeCompact()
+}
+
+// allocateGlobal re-solves the full active set (global mode).
+func (e *Engine) allocateGlobal() {
 	n := len(e.active)
 	if cap(e.rates) < n {
 		e.rates = make([]float64, 2*n)
 	}
 	rates := e.rates[:n]
 	e.alloc.Allocate(e.net, e.active, rates)
-	for i, f := range e.active {
-		f.Rate = rates[i]
-	}
 	e.allocs++
+	e.solved += n
+	e.fullSolve += n
+	if n > e.maxComp {
+		e.maxComp = n
+	}
+	e.applyRates(e.active, e.activeGroups, rates)
 	e.changed = false
+	e.maybeCompact()
+}
 
-	e.heap.reset()
+// materialize realizes every active finite payload's lazy drain at
+// time t. Run calls it once when a finite horizon cuts the simulation
+// short, so flows left unfinished expose the Remaining they would
+// have under eager draining.
+func (e *Engine) materialize(t float64) {
 	for _, f := range e.active {
-		// Members complete with their group; unbounded and starved
-		// flows have no completion event.
 		if f.SizeBytes == 0 || f.Group != nil || f.Rate <= 0 {
 			continue
 		}
-		e.heap.add(event{t: e.now + f.Remaining*8/f.Rate, id: f.ID, f: f})
-	}
-	for _, g := range e.activeGroups {
-		total := g.Rate()
-		if g.SizeBytes == 0 || total <= 0 {
-			continue
-		}
-		e.heap.add(event{t: e.now + g.Remaining*8/total, id: g.ID, g: g})
-	}
-	e.heap.init()
-}
-
-// drain advances every finite payload by dt at the current rates.
-func (e *Engine) drain(dt float64) {
-	if dt <= 0 {
-		return
-	}
-	for _, f := range e.active {
-		if f.SizeBytes == 0 || f.Group != nil {
-			continue
-		}
-		f.Remaining -= f.Rate / 8 * dt
+		s := &e.fs[f.ID]
+		f.Remaining -= (t - s.refT) * f.Rate / 8
 		if f.Remaining < 0 {
 			f.Remaining = 0
 		}
+		s.refT = t
 	}
 	for _, g := range e.activeGroups {
 		if g.SizeBytes == 0 {
 			continue
 		}
-		g.Remaining -= g.Rate() / 8 * dt
+		total := g.Rate()
+		if total <= 0 {
+			continue
+		}
+		s := &e.gs[g.ID]
+		g.Remaining -= (t - s.refT) * total / 8
 		if g.Remaining < 0 {
 			g.Remaining = 0
 		}
+		s.refT = t
 	}
 }
 
 // complete retires every flow and group whose completion event is due
 // at time t, in deterministic (time, id) order, then compacts the
-// active set in place (preserving admission order). A departing
-// single-path flow that shared no link keeps the fast path: its
-// capacity was visible to nobody, so the remaining schedule stands.
+// active set in place (preserving admission order). A departing flow
+// that shared no link keeps the fast path — its capacity was visible
+// to nobody, so the remaining schedule stands; any other departure
+// seeds its surviving neighbors for a component re-solve.
 func (e *Engine) complete(t float64) {
 	slack := 1e-12 * (1 + math.Abs(t))
 	done := false
-	for e.heap.len() > 0 && e.heap.top().t <= t+slack {
-		ev := e.heap.pop()
+	for e.heap.len() > 0 {
+		ev := e.heap.top()
+		if e.staleEv > 0 && !e.valid(ev) {
+			e.heap.pop()
+			e.staleEv--
+			continue
+		}
+		if ev.t > t+slack {
+			break
+		}
+		e.heap.pop()
 		done = true
 		if ev.f != nil {
 			f := ev.f
+			e.fs[f.ID].bits &^= evBit
 			f.Finish = ev.t
 			f.Remaining = 0
-			e.finished = append(e.finished, f)
-			if !e.solo(f) {
+			e.finished = append(grow(e.finished), f)
+			switch {
+			case e.global:
 				e.changed = true
-			}
-			for _, l := range f.Links {
-				e.linkCount[l]--
+			case !e.unlink(f):
+				e.elided++
 			}
 			continue
 		}
 		g := ev.g
+		e.gs[g.ID].bits &^= evBit
 		g.Finish = ev.t
 		g.Remaining = 0
+		coupled := false
 		for _, m := range g.Members {
-			if !m.Done() {
-				m.Finish = g.Finish
-				e.finished = append(e.finished, m)
-				for _, l := range m.Links {
-					e.linkCount[l]--
-				}
+			if m.Done() {
+				continue
+			}
+			m.Finish = g.Finish
+			e.finished = append(grow(e.finished), m)
+			if !e.global && e.unlink(m) {
+				coupled = true
 			}
 		}
 		e.finishedGroups = append(e.finishedGroups, g)
 		delete(e.inActive, g)
-		e.changed = true
+		switch {
+		case e.global:
+			e.changed = true
+		case !coupled:
+			e.elided++
+		}
 	}
 	if !done {
 		return
@@ -371,13 +809,13 @@ func (e *Engine) complete(t float64) {
 	}
 }
 
-// Step advances to the next event: admit due arrivals, reallocate if
-// the active set changed, and jump time to the earlier of the next
-// arrival and the earliest completion. It reports whether any further
-// event can occur; false means the simulation has reached a state that
-// will never change again (no pending arrivals and no finite flow
-// draining — any remaining active flows are unbounded and hold their
-// current rates forever).
+// Step advances to the next event: admit due arrivals, reallocate the
+// touched component(s) if the active set changed, and jump time to the
+// earlier of the next arrival and the earliest completion. It reports
+// whether any further event can occur; false means the simulation has
+// reached a state that will never change again (no pending arrivals
+// and no finite flow draining — any remaining active flows are
+// unbounded and hold their current rates forever).
 func (e *Engine) Step() bool { return e.step(math.Inf(1)) }
 
 // step is Step bounded by a deadline: if the next event lies beyond
@@ -388,9 +826,14 @@ func (e *Engine) step(deadline float64) bool {
 	if len(e.active) == 0 && e.next >= len(e.pending) {
 		return false
 	}
-	if e.changed && len(e.active) > 0 {
-		e.allocate()
+	if e.global {
+		if e.changed && len(e.active) > 0 {
+			e.allocateGlobal()
+		}
+	} else if len(e.touched) > 0 {
+		e.reallocate()
 	}
+	e.pruneStale()
 	tC := math.Inf(1)
 	if e.heap.len() > 0 {
 		tC = e.heap.top().t
@@ -407,11 +850,10 @@ func (e *Engine) step(deadline float64) bool {
 		t = e.now
 	}
 	if t > deadline {
-		e.drain(deadline - e.now)
+		e.materialize(deadline)
 		e.now = deadline
 		return true
 	}
-	e.drain(t - e.now)
 	e.now = t
 	e.complete(t)
 	e.events++
@@ -420,12 +862,28 @@ func (e *Engine) step(deadline float64) bool {
 
 // Run advances events until nothing further can happen or time reaches
 // until (seconds; math.Inf(1) runs to completion of every finite
-// flow). Flows still draining at until are left unfinished, exactly as
-// the epoch engine leaves them.
+// flow). Flows still draining at until are left unfinished — with
+// rates settled and payloads materialized at until, exactly as the
+// epoch engine leaves them.
 func (e *Engine) Run(until float64) {
 	for e.now < until {
 		if !e.step(until) {
 			return
 		}
 	}
+	if math.IsInf(until, 1) {
+		return
+	}
+	// An event landing exactly on the horizon exits the loop without
+	// the deadline branch having run: settle any seeds that final
+	// completion left (so survivors expose their re-solved rates) and
+	// materialize the lazy drain.
+	if e.global {
+		if e.changed && len(e.active) > 0 {
+			e.allocateGlobal()
+		}
+	} else if len(e.touched) > 0 {
+		e.reallocate()
+	}
+	e.materialize(e.now)
 }

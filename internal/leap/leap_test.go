@@ -6,6 +6,7 @@ import (
 
 	"numfabric/internal/core"
 	"numfabric/internal/fluid"
+	"numfabric/internal/sim"
 )
 
 func almostEq(a, b, rel float64) bool {
@@ -266,6 +267,130 @@ func TestIdleGapCostsNothing(t *testing.T) {
 	}
 	if e.Allocs() != 0 {
 		t.Errorf("%d allocs, want 0 (both flows independent)", e.Allocs())
+	}
+}
+
+// buildDenseSchedule adds a dense random mixed workload — plain flows
+// and finite groups over two disjoint link banks, with arrivals
+// quantized so batches land on shared instants and sizes quantized so
+// completions collide — to an engine, via one seeded stream. Returns
+// the flows and groups for comparison.
+func buildDenseSchedule(e *Engine, seed uint64) ([]*fluid.Flow, []*fluid.Group) {
+	rng := sim.NewRNG(seed)
+	// Two disjoint banks guarantee the link-sharing graph always has
+	// at least two components for the component-local path to win on.
+	banks := [2][]int{{0, 1, 2, 3}, {4, 5, 6, 7}}
+	var fs []*fluid.Flow
+	var gs []*fluid.Group
+	for i := 0; i < 150; i++ {
+		bank := banks[rng.Intn(2)]
+		// A 1-2 link path within the bank.
+		path := []int{bank[rng.Intn(len(bank))]}
+		if rng.Intn(2) == 0 {
+			l := bank[rng.Intn(len(bank))]
+			if l != path[0] {
+				path = append(path, l)
+			}
+		}
+		at := float64(rng.Intn(40)) * 100e-6
+		sz := int64(rng.Intn(16)+1) * (64 << 10)
+		fs = append(fs, e.AddFlow(path, core.ProportionalFair(), sz, at))
+	}
+	for i := 0; i < 8; i++ {
+		bank := banks[rng.Intn(2)]
+		paths := [][]int{{bank[rng.Intn(len(bank))]}, {bank[rng.Intn(len(bank))]}}
+		at := float64(rng.Intn(40)) * 100e-6
+		sz := int64(rng.Intn(8)+1) * (256 << 10)
+		gs = append(gs, e.AddGroup(paths, core.ProportionalFair(), sz, at))
+	}
+	return fs, gs
+}
+
+// TestComponentLocalMatchesGlobal is the component-machinery property
+// test: dense random schedules (simultaneous arrivals, colliding
+// completions, finite groups) played twice through the engine — once
+// component-local, once with Global forcing a full re-solve on every
+// active-set change — must produce byte-identical completion times
+// for every flow and group, and the same event count. WaterFill's
+// progressive filling is separable across connected components, so
+// any disagreement is a component-tracking bug, not float noise.
+func TestComponentLocalMatchesGlobal(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		caps := []float64{10e9, 10e9, 25e9, 40e9, 10e9, 10e9, 25e9, 40e9}
+		local := NewEngine(fluid.NewNetwork(caps), Config{})
+		global := NewEngine(fluid.NewNetwork(caps), Config{Global: true})
+		lf, lg := buildDenseSchedule(local, seed)
+		gf, gg := buildDenseSchedule(global, seed)
+		local.Run(math.Inf(1))
+		global.Run(math.Inf(1))
+
+		if local.Events() != global.Events() {
+			t.Errorf("seed %d: events %d (local) vs %d (global)",
+				seed, local.Events(), global.Events())
+		}
+		for i := range lf {
+			if lf[i].Finish != gf[i].Finish {
+				t.Fatalf("seed %d flow %d: finish %v (local) != %v (global)",
+					seed, lf[i].ID, lf[i].Finish, gf[i].Finish)
+			}
+		}
+		for i := range lg {
+			if lg[i].Finish != gg[i].Finish {
+				t.Fatalf("seed %d group %d: finish %v (local) != %v (global)",
+					seed, lg[i].ID, lg[i].Finish, gg[i].Finish)
+			}
+		}
+		ls, gs := local.Stats(), global.Stats()
+		if ls.SolvedFlows >= gs.SolvedFlows {
+			t.Errorf("seed %d: component-local solved %d flows, global %d — no win",
+				seed, ls.SolvedFlows, gs.SolvedFlows)
+		}
+		if ls.FullSolveFlows == 0 || ls.MaxComponent == 0 {
+			t.Errorf("seed %d: stats not populated: %+v", seed, ls)
+		}
+	}
+}
+
+// TestComponentStats: two link-disjoint flow pairs arriving at
+// different instants are solved as two size-2 components, and the
+// counterfactual full-solve work exceeds the component-local work.
+func TestComponentStats(t *testing.T) {
+	net := fluid.NewNetwork([]float64{10e9, 10e9})
+	e := NewEngine(net, Config{})
+	e.AddFlow([]int{0}, core.ProportionalFair(), 8<<20, 0)
+	e.AddFlow([]int{0}, core.ProportionalFair(), 8<<20, 0)
+	e.AddFlow([]int{1}, core.ProportionalFair(), 8<<20, 1e-3)
+	e.AddFlow([]int{1}, core.ProportionalFair(), 8<<20, 1e-3)
+	e.Run(2e-3) // both pairs admitted and solved, nothing finished yet
+	s := e.Stats()
+	if s.Allocs != 2 || s.SolvedFlows != 4 || s.MaxComponent != 2 {
+		t.Errorf("stats = %+v, want 2 allocs × 2 flows, max component 2", s)
+	}
+	// First solve saw 2 active flows, the second 4: the global engine
+	// would have paid 6.
+	if s.FullSolveFlows != 6 {
+		t.Errorf("FullSolveFlows = %d, want 6", s.FullSolveFlows)
+	}
+}
+
+// TestStrandedNeighborElision: a departure that leaves exactly one
+// flow in its component re-rates that flow with no allocator call —
+// the size-one-component generalization of the arrival fast path.
+func TestStrandedNeighborElision(t *testing.T) {
+	net := fluid.NewNetwork([]float64{10e9})
+	e := NewEngine(net, Config{})
+	a := e.AddFlow([]int{0}, core.ProportionalFair(), 10<<20, 0)
+	e.AddFlow([]int{0}, core.ProportionalFair(), 1<<20, 0)
+	e.Run(math.Inf(1))
+	if got := e.Allocs(); got != 1 {
+		t.Errorf("allocs = %d, want 1 (arrival couple only; the departure strands a size-1 component)", got)
+	}
+	// And the stranded flow's schedule reflects the reclaimed capacity:
+	// 1 MB shared at 5G each, then A alone at 10G.
+	wantB := float64(1<<20) * 8 / 5e9
+	wantA := wantB + float64(10<<20-1<<20)*8/10e9
+	if !almostEq(a.Finish, wantA, 1e-9) {
+		t.Errorf("A finish = %v, want %v", a.Finish, wantA)
 	}
 }
 

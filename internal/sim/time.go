@@ -8,6 +8,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"time"
 )
 
@@ -30,8 +31,22 @@ const (
 // Forever is a time later than any reachable simulation time.
 const Forever Time = 1<<63 - 1
 
-// Add returns t shifted by d.
-func (t Time) Add(d Duration) Time { return t + Time(d) }
+// Add returns t shifted by d, saturating at ±Forever instead of
+// wrapping on int64 overflow — so a time pushed past the horizon stays
+// later than every reachable time rather than going negative.
+func (t Time) Add(d Duration) Time {
+	s := t + Time(d)
+	if d >= 0 {
+		if s < t {
+			return Forever
+		}
+	} else if s > t || s < -Forever {
+		// s < -Forever catches the one representable value below the
+		// floor (int64 min = -Forever − 1).
+		return -Forever
+	}
+	return s
+}
 
 // Sub returns the duration t-u.
 func (t Time) Sub(u Time) Duration { return Duration(t - u) }
@@ -49,8 +64,24 @@ func (d Duration) Std() time.Duration { return time.Duration(int64(d) / 1000) }
 // FromStd converts a time.Duration into a simulated Duration.
 func FromStd(d time.Duration) Duration { return Duration(d.Nanoseconds()) * Nanosecond }
 
-// Seconds constructs a Duration from a floating-point number of seconds.
-func Seconds(s float64) Duration { return Duration(s * 1e12) }
+// Seconds constructs a Duration from a floating-point number of
+// seconds. Values beyond the int64 picosecond range — including ±Inf,
+// and NaN — saturate at ±Duration(Forever): the float→int conversion
+// is implementation-defined out of range (Go spec), and on common
+// platforms wraps to the minimum int64, which silently turned a
+// too-long duration into a hugely negative one.
+func Seconds(s float64) Duration {
+	ps := s * 1e12
+	switch {
+	case math.IsNaN(ps):
+		return Duration(Forever)
+	case ps >= float64(Forever):
+		return Duration(Forever)
+	case ps <= -float64(Forever):
+		return -Duration(Forever)
+	}
+	return Duration(ps)
+}
 
 func (t Time) String() string {
 	return fmt.Sprintf("%.3fus", float64(t)/1e6)

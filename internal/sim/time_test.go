@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 	"time"
@@ -29,6 +30,59 @@ func TestTimeAddSub(t *testing.T) {
 	b := a.Add(50)
 	if b != 150 || b.Sub(a) != 50 {
 		t.Errorf("Add/Sub wrong: %v %v", b, b.Sub(a))
+	}
+}
+
+// TestSecondsSaturates: out-of-range, infinite, and NaN second counts
+// saturate at ±Duration(Forever) instead of hitting Go's
+// implementation-defined float→int64 conversion (which wraps to the
+// minimum int64 on common platforms, turning "longer than the
+// simulation horizon" into "before it started").
+func TestSecondsSaturates(t *testing.T) {
+	inf := math.Inf(1)
+	for _, tc := range []struct {
+		in   float64
+		want Duration
+	}{
+		{1.5, Duration(1.5e12)},
+		{0, 0},
+		{-2, Duration(-2e12)},
+		{inf, Duration(Forever)},
+		{-inf, -Duration(Forever)},
+		{math.NaN(), Duration(Forever)},
+		{1e30, Duration(Forever)},
+		{-1e30, -Duration(Forever)},
+		{9.3e6, Duration(Forever)}, // 9.3e18 ps, just past int64 max
+		{-9.3e6, -Duration(Forever)},
+		{9.2e6, Duration(9.2e18)}, // just inside
+	} {
+		if got := Seconds(tc.in); got != tc.want {
+			t.Errorf("Seconds(%v) = %d, want %d", tc.in, int64(got), int64(tc.want))
+		}
+	}
+}
+
+// TestTimeAddSaturates: Add saturates at ±Forever on overflow instead
+// of wrapping, so time pushed past the horizon stays in the future.
+func TestTimeAddSaturates(t *testing.T) {
+	for _, tc := range []struct {
+		t    Time
+		d    Duration
+		want Time
+	}{
+		{Forever, Duration(Forever), Forever},
+		{Forever, Second, Forever},
+		{Forever - 10, 10, Forever},
+		{Forever - 10, 11, Forever},
+		{-Forever, -Duration(Forever), -Forever},
+		{-Forever + 10, -11, -Forever},
+		{100, -200, -100},
+		{Forever, -Duration(Forever), 0},
+	} {
+		if got := tc.t.Add(tc.d); got != tc.want {
+			t.Errorf("Time(%d).Add(%d) = %d, want %d",
+				int64(tc.t), int64(tc.d), int64(got), int64(tc.want))
+		}
 	}
 }
 

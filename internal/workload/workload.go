@@ -144,6 +144,14 @@ func Poisson(cfg PoissonConfig, rng *sim.RNG) []Arrival {
 	// Bits per second the workload must inject to hit the load target.
 	aggregate := cfg.Load * float64(cfg.Hosts) * cfg.HostLink.Float()
 	lambda := aggregate / (mean * 8) // flows per second
+	// A non-positive (or NaN) rate offers no traffic: the schedule is
+	// empty. Without this guard, λ = 0 made every gap +Inf, whose
+	// implementation-defined float→int64 conversion wrapped t negative
+	// so the `t > Duration` horizon check never tripped — an infinite
+	// loop for Load = 0 (or an astronomically large mean flow size).
+	if !(lambda > 0) {
+		return nil
+	}
 	var out []Arrival
 	t := sim.Time(0)
 	for {

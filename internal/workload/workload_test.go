@@ -130,6 +130,40 @@ func TestPoissonMaxFlows(t *testing.T) {
 	}
 }
 
+// TestPoissonZeroLoadEmpty: a zero (or negative) load offers no
+// traffic and must return an empty schedule. Regression test: λ = 0
+// made every inter-arrival gap +Inf, whose implementation-defined
+// float→int64 conversion wrapped the clock negative, so the horizon
+// check never tripped and Poisson looped forever.
+func TestPoissonZeroLoadEmpty(t *testing.T) {
+	for _, load := range []float64{0, -0.5} {
+		cfg := PoissonConfig{
+			Hosts: 8, HostLink: 10 * sim.Gbps, Load: load,
+			CDF: WebSearch(), Duration: sim.Second,
+		}
+		if arr := Poisson(cfg, sim.NewRNG(1)); len(arr) != 0 {
+			t.Errorf("Load=%v: got %d arrivals, want none", load, len(arr))
+		}
+	}
+}
+
+// TestPoissonHugeMeanTerminates: an astronomically large mean flow
+// size drives λ toward zero; the schedule must still terminate (gaps
+// past the horizon now saturate instead of wrapping) and every
+// arrival must lie inside the horizon.
+func TestPoissonHugeMeanTerminates(t *testing.T) {
+	cfg := PoissonConfig{
+		Hosts: 2, HostLink: 1, Load: 1e-12,
+		CDF: Uniform(1 << 60), Duration: 100 * sim.Millisecond,
+	}
+	arr := Poisson(cfg, sim.NewRNG(2))
+	for _, a := range arr {
+		if a.At > sim.Time(cfg.Duration) {
+			t.Fatalf("arrival at %v beyond horizon %v", a.At, cfg.Duration)
+		}
+	}
+}
+
 func TestPoissonDeterministic(t *testing.T) {
 	cfg := PoissonConfig{
 		Hosts: 32, HostLink: 10 * sim.Gbps, Load: 0.6,

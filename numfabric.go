@@ -54,6 +54,7 @@ import (
 
 	"numfabric/internal/core"
 	"numfabric/internal/harness"
+	"numfabric/internal/leap"
 	"numfabric/internal/netsim"
 	"numfabric/internal/oracle"
 	"numfabric/internal/sim"
@@ -333,6 +334,12 @@ func RunDynamicWith(e EngineType, cfg DynamicConfig) DynamicResult {
 func RunDynamicLeap(cfg DynamicConfig) DynamicResult {
 	return harness.RunDynamicLeap(cfg)
 }
+
+// LeapStats is the leap engine's work telemetry — events, allocator
+// solves, flows per solve, touched-component sizes, and the
+// global-re-solve counterfactual — surfaced on DynamicResult and
+// IncastResult for leap runs.
+type LeapStats = leap.Stats
 
 // IncastConfig configures the incast burst scenario: N synchronized
 // senders converging on one receiver (§6.1-style bursts).
