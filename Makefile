@@ -1,0 +1,19 @@
+# Convenience targets; CI runs the same commands.
+
+.PHONY: test race bench-smoke bench-json
+
+test:
+	go build ./... && go test ./...
+
+race:
+	go test -race -short ./...
+
+# One full iteration of each leap benchmark, with their built-in
+# accuracy/identity assertions.
+bench-smoke:
+	go test -run '^$$' -bench 'BenchmarkLeap(FCT|Components|Parallel)' -benchtime 1x .
+
+# Regenerate the perf-trajectory record (cores-vs-throughput on the
+# parallel coflow workload).
+bench-json:
+	go run ./cmd/benchjson -out BENCH_leap.json

@@ -1,0 +1,182 @@
+// Command benchjson measures the leap engine's performance trajectory
+// and writes it as machine-readable JSON (BENCH_leap.json), so every
+// commit leaves a perf record to regress against instead of a number
+// in a shell scrollback.
+//
+// It plays the BenchmarkLeapParallel workload — 200k web-search-sized
+// flows at 10% load on a k=8 fat-tree, arranged as synchronized
+// pod-local coflows (harness.FatTreeCoflows) — once per requested
+// worker count, on the byte-identical schedule, and records each run's
+// wall clock, flows/s, speedup over the Workers=1 baseline, and the
+// engine telemetry that explains it (allocator-work ratio against the
+// global-re-solve counterfactual, batch widths, parallel solves).
+//
+// Usage:
+//
+//	go run ./cmd/benchjson [-out BENCH_leap.json] [-flows 200000]
+//	    [-load 0.1] [-workers 1,2,4,0] [-seed 1]
+//
+// A workers value of 0 means one worker per core (GOMAXPROCS);
+// duplicate resolved counts are dropped. CI runs this (at reduced
+// -flows) and uploads the JSON as a build artifact.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"numfabric/internal/core"
+	"numfabric/internal/fluid"
+	"numfabric/internal/harness"
+	"numfabric/internal/leap"
+	"numfabric/internal/sim"
+	"numfabric/internal/stats"
+)
+
+// Run is one worker count's measurement.
+type Run struct {
+	Workers         int     `json:"workers"`
+	WallSeconds     float64 `json:"wall_s"`
+	FlowsPerSecond  float64 `json:"flows_per_s"`
+	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	// AllocWorkRatio is FullSolveFlows/SolvedFlows: the factor
+	// component-local reallocation saves against re-solving the full
+	// active set at every coupled event.
+	AllocWorkRatio   float64 `json:"alloc_work_ratio"`
+	Batches          int     `json:"batches"`
+	AvgBatchWidth    float64 `json:"avg_batch_components"`
+	ParallelSolves   int     `json:"parallel_solves"`
+	MaxComponent     int     `json:"max_component"`
+	FinishedFlows    int     `json:"finished_flows"`
+	MedianNormFCTX64 float64 `json:"median_norm_fct"`
+}
+
+// Report is the BENCH_leap.json schema.
+type Report struct {
+	Bench      string  `json:"bench"`
+	Generated  string  `json:"generated_by"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Flows      int     `json:"flows"`
+	Load       float64 `json:"load"`
+	Senders    int     `json:"senders"`
+	Bursts     int     `json:"bursts"`
+	Seed       uint64  `json:"seed"`
+	Runs       []Run   `json:"runs"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_leap.json", "output path")
+	flows := flag.Int("flows", 200_000, "flows per run")
+	load := flag.Float64("load", 0.10, "target load")
+	workersList := flag.String("workers", "1,2,4,0", "comma-separated worker counts (0 = one per core)")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	flag.Parse()
+
+	const (
+		k        = 8
+		linkRate = 10e9
+		senders  = 15
+		bursts   = 24
+	)
+	ft := fluid.NewFatTree(k, linkRate)
+	arrivals, paths := harness.FatTreeCoflows(ft, *load, *flows, senders, bursts, sim.NewRNG(*seed))
+
+	var counts []int
+	seen := map[int]bool{}
+	for _, tok := range strings.Split(*workersList, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(tok))
+		if err != nil || v < 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -workers entry %q\n", tok)
+			os.Exit(2)
+		}
+		w := harness.LeapWorkers(v)
+		if !seen[w] {
+			seen[w] = true
+			counts = append(counts, w)
+		}
+	}
+
+	rep := Report{
+		Bench:      "leap-parallel-coflows",
+		Generated:  "go run ./cmd/benchjson",
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Flows:      len(arrivals),
+		Load:       *load,
+		Senders:    senders,
+		Bursts:     bursts,
+		Seed:       *seed,
+	}
+	for _, w := range counts {
+		eng := leap.NewEngine(ft.Net, leap.Config{
+			Allocator:  fluid.NewWaterFill(),
+			Workers:    w,
+			LinkShards: ft.LinkShards(),
+		})
+		engFlows := make([]*fluid.Flow, len(arrivals))
+		for i, a := range arrivals {
+			engFlows[i] = eng.AddFlow(paths[i], core.ProportionalFair(), a.Size, a.At.Seconds())
+		}
+		runtime.GC()
+		wall := time.Now()
+		eng.Run(math.Inf(1))
+		el := time.Since(wall).Seconds()
+		var norm []float64
+		finished := 0
+		for _, f := range engFlows {
+			if f.Done() {
+				finished++
+				norm = append(norm, f.FCT()*linkRate/(float64(f.SizeBytes)*8))
+			}
+		}
+		s := eng.Stats()
+		rep.Runs = append(rep.Runs, Run{
+			Workers:          w,
+			WallSeconds:      el,
+			FlowsPerSecond:   float64(len(engFlows)) / el,
+			AllocWorkRatio:   float64(s.FullSolveFlows) / math.Max(float64(s.SolvedFlows), 1),
+			Batches:          s.Batches,
+			AvgBatchWidth:    float64(s.BatchComponents) / math.Max(float64(s.Batches), 1),
+			ParallelSolves:   s.ParallelSolves,
+			MaxComponent:     s.MaxComponent,
+			FinishedFlows:    finished,
+			MedianNormFCTX64: stats.Median(norm),
+		})
+	}
+	// Speedups are computed once every run is in: the baseline is the
+	// Workers = 1 run wherever it sits in the list (the first run
+	// otherwise), so one report never mixes baselines.
+	baseline := rep.Runs[0].WallSeconds
+	for _, r := range rep.Runs {
+		if r.Workers == 1 {
+			baseline = r.WallSeconds
+			break
+		}
+	}
+	for i := range rep.Runs {
+		r := &rep.Runs[i]
+		r.SpeedupVsSerial = baseline / r.WallSeconds
+		fmt.Printf("workers=%d wall=%.3fs flows/s=%.0f speedup=%.2fx batches=%d parSolves=%d\n",
+			r.Workers, r.WallSeconds, r.FlowsPerSecond, r.SpeedupVsSerial, r.Batches, r.ParallelSolves)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	encoder := json.NewEncoder(f)
+	encoder.SetIndent("", "  ")
+	if err := encoder.Encode(rep); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

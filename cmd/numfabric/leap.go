@@ -33,15 +33,21 @@ func runLeapFCT(full bool, seed uint64) {
 	}
 	cfg := harness.DefaultConfig(harness.NUMFabric, harness.ScaledTopology())
 	ft := fluid.NewFatTree(k, linkRate)
-	fmt.Printf("leap-engine FCT sweep: k=%d fat-tree (%d hosts), websearch, %d flows per load\n",
-		k, ft.Hosts(), nflows)
-	fmt.Printf("%-6s %10s %10s %10s %12s %10s %9s %8s %8s %10s\n",
-		"load", "medNorm", "p95Norm", "flows/s", "events", "allocs", "avgComp", "maxComp", "workX", "wall")
+	nworkers := harness.LeapWorkers(workers)
+	fmt.Printf("leap-engine FCT sweep: k=%d fat-tree (%d hosts), websearch, %d flows per load, %d workers\n",
+		k, ft.Hosts(), nflows, nworkers)
+	fmt.Printf("%-6s %10s %10s %10s %12s %10s %9s %8s %8s %9s %8s %10s\n",
+		"load", "medNorm", "p95Norm", "flows/s", "events", "allocs", "avgComp", "maxComp", "workX", "batchW", "parSlv", "wall")
 	tab := trace.NewTable("load", "median_norm_fct", "p95_norm_fct", "flows_per_s",
-		"events", "allocs", "solved_flows", "max_component", "elided", "full_solve_flows")
+		"events", "allocs", "solved_flows", "max_component", "elided", "full_solve_flows",
+		"workers", "batches", "parallel_solves")
 	for _, load := range loads {
 		arrivals, paths := harness.FatTreeWebSearch(ft, load, nflows, sim.NewRNG(seed))
-		eng := leap.NewEngine(ft.Net, leap.Config{Allocator: harness.LeapAllocatorFor(cfg)})
+		eng := leap.NewEngine(ft.Net, leap.Config{
+			Allocator:  harness.LeapAllocatorFor(cfg),
+			Workers:    nworkers,
+			LinkShards: ft.LinkShards(),
+		})
 		for i, a := range arrivals {
 			eng.AddFlow(paths[i], core.FCTMin(a.Size, 0.125), a.Size, a.At.Seconds())
 		}
@@ -58,14 +64,19 @@ func runLeapFCT(full bool, seed uint64) {
 		s := eng.Stats()
 		// avgComp is the mean flows per allocator solve; workX the
 		// factor saved against re-solving the full active set at every
-		// coupled event (the engine's global-counterfactual counter).
+		// coupled event (the engine's global-counterfactual counter);
+		// batchW the mean disjoint components per reallocation batch —
+		// the parallelism the workload exposes — and parSlv the solves
+		// that actually ran on the worker pool.
 		avgComp := float64(s.SolvedFlows) / math.Max(float64(s.Allocs), 1)
 		workX := float64(s.FullSolveFlows) / math.Max(float64(s.SolvedFlows), 1)
-		fmt.Printf("%-6.2f %10.2f %10.2f %10.0f %12d %10d %9.1f %8d %8.1f %10v\n",
+		batchW := float64(s.BatchComponents) / math.Max(float64(s.Batches), 1)
+		fmt.Printf("%-6.2f %10.2f %10.2f %10.0f %12d %10d %9.1f %8d %8.1f %9.2f %8d %10v\n",
 			load, med, p95, rate, s.Events, s.Allocs, avgComp, s.MaxComponent, workX,
-			elapsed.Round(time.Millisecond))
+			batchW, s.ParallelSolves, elapsed.Round(time.Millisecond))
 		_ = tab.Append(load, med, p95, rate, float64(s.Events), float64(s.Allocs),
-			float64(s.SolvedFlows), float64(s.MaxComponent), float64(s.Elided), float64(s.FullSolveFlows))
+			float64(s.SolvedFlows), float64(s.MaxComponent), float64(s.Elided), float64(s.FullSolveFlows),
+			float64(nworkers), float64(s.Batches), float64(s.ParallelSolves))
 	}
 	writeCSV("leapfct.csv", tab)
 }

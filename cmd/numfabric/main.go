@@ -9,6 +9,11 @@
 // fig6a, fig6b, fig6c, fig7, fig8, fig9, fig10, fattree, fluidsweep,
 // fluidpooling, leapfct, all.
 //
+// -workers bounds the leap engine's parallel solves of the disjoint
+// link-sharing components touched by one event batch (0, the default,
+// uses every core; 1 forces a serial run; FCTs are byte-identical
+// either way).
+//
 // -engine selects the execution engine for the convergence (fig4a),
 // dynamic-workload (fig5a/fig5b), FCT (fig7), and resource-pooling
 // (fig8) experiments: "packet" is the faithful packet-level
@@ -48,6 +53,10 @@ var outDir string
 // engine is the execution engine selected via -engine.
 var engine harness.Engine
 
+// workers is the leap engine's component-solve parallelism selected
+// via -workers (0 = one worker per core).
+var workers int
+
 // writeCSV writes a table into outDir (no-op when -out is unset).
 func writeCSV(name string, t *trace.Table) {
 	if outDir == "" {
@@ -73,8 +82,10 @@ func main() {
 	seed := flag.Uint64("seed", 1, "random seed")
 	out := flag.String("out", "", "directory for CSV output (optional)")
 	eng := flag.String("engine", "packet", "\"packet\" (discrete-event simulator), \"fluid\" (flow-level fast path), or \"leap\" (event-driven fast path) for fig4a/fig5a/fig5b/fig7/fig8")
+	w := flag.Int("workers", 0, "goroutines for the leap engine's parallel component solves (0 = one per core, 1 = serial; FCTs are identical either way)")
 	flag.Parse()
 	outDir = *out
+	workers = *w
 	var err error
 	if engine, err = harness.ParseEngine(*eng); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -257,6 +268,7 @@ func runFig5(full bool, seed uint64, cdf *workload.SizeCDF) {
 		cfg := harness.DefaultDynamic(s, cdf, 0.4)
 		cfg.Flows = flows
 		cfg.Seed = seed
+		cfg.Workers = workers
 		if full {
 			cfg.Topo = harness.PaperTopology()
 			cfg.Scheme = harness.DefaultConfig(s, cfg.Topo)
@@ -311,6 +323,7 @@ func runFig7(full bool, seed uint64) {
 	fmt.Printf("FCT vs pFabric on the web-search workload (Figure 7, %s engine):\n", engine)
 	cfg := harness.DefaultFCT()
 	cfg.Seed = seed
+	cfg.Workers = workers
 	if full {
 		cfg.Topo = harness.PaperTopology()
 		cfg.FlowsPerLoad = 2000

@@ -2,8 +2,8 @@ package fluid
 
 import (
 	"math"
+	"sync/atomic"
 
-	"numfabric/internal/core"
 	"numfabric/internal/oracle"
 )
 
@@ -45,7 +45,13 @@ type scratch struct {
 	paths   [][]int
 	weights []float64
 	groups  []*Group
-	stamp   int
+	// stamps issues the group-scan stamps. It is a shared monotone
+	// counter rather than a per-scratch int so that worker views of one
+	// allocator (ParallelSubsetAllocator.Worker) can scan groups
+	// concurrently: values are globally unique across the family and
+	// never reused, so a group stamped by one worker's past scan can
+	// never collide with another worker's current one.
+	stamps *atomic.Int64
 
 	// linkStamp/links collect the distinct links a call's flows cross,
 	// in first-touch order — the sparse iteration domain of the subset
@@ -54,6 +60,15 @@ type scratch struct {
 	linkStamp []int
 	links     []int
 	linkRound int
+}
+
+// ensureStamps lazily creates the stamp source (single-threaded: the
+// first Allocate, Prime, or Worker call precedes any concurrency).
+func (s *scratch) ensureStamps() *atomic.Int64 {
+	if s.stamps == nil {
+		s.stamps = new(atomic.Int64)
+	}
+	return s.stamps
 }
 
 func (s *scratch) resize(n int) {
@@ -69,11 +84,11 @@ func (s *scratch) resize(n int) {
 // first-member order, via the groups' scan stamps (no per-call
 // allocation once warm).
 func (s *scratch) collectGroups(flows []*Flow) []*Group {
-	s.stamp++
+	st := s.ensureStamps().Add(1)
 	s.groups = s.groups[:0]
 	for _, f := range flows {
-		if g := f.Group; g != nil && g.stamp != s.stamp {
-			g.stamp = s.stamp
+		if g := f.Group; g != nil && g.stamp != st {
+			g.stamp = st
 			s.groups = append(s.groups, g)
 		}
 	}
@@ -460,27 +475,7 @@ func (o *Oracle) AllocateSubset(net *Network, flows []*Flow, rates []float64) {
 }
 
 func (o *Oracle) solve(net *Network, flows []*Flow) oracle.Result {
-	maxIter := o.MaxIter
-	if maxIter <= 0 {
-		maxIter = 2000
-	}
-	p := core.NewProblem(net.Capacity)
-	for _, g := range o.s.collectGroups(flows) {
-		g.gid = -1
-	}
-	for _, f := range flows {
-		if g := f.Group; g != nil {
-			if g.gid < 0 {
-				g.gid = p.AddAggregate(g.U)
-			}
-			p.AddSubflow(g.gid, f.Links)
-			continue
-		}
-		p.AddFlow(f.Links, f.U)
-	}
-	return oracle.Solve(p, oracle.SolveOptions{
-		MaxIter: maxIter, Tol: 1e-7, InitPrices: o.prices,
-	})
+	return oracleSolve(net, flows, &o.s, o.MaxIter, o.prices)
 }
 
 // DGD runs the Low–Lapsley dual-gradient dynamics (§3, Eqs. 3–4) at

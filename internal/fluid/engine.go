@@ -53,6 +53,48 @@ type Engine struct {
 	stationary bool
 
 	epochFns []func(now float64, active []*Flow)
+
+	epochs      int
+	allocs      int
+	solvedFlows int
+	maxSolve    int
+	skipped     int
+}
+
+// Stats is the epoch engine's work telemetry — the counterpart of
+// leap.Engine.Stats for the fixed-epoch fast path. The epoch engine
+// re-solves the whole active set (its "component" is always the full
+// link-sharing graph), so the interesting ratio is how many of its
+// epochs the stationary-allocator skip turned into free drains.
+type Stats struct {
+	// Epochs is how many epochs advanced with at least one active flow
+	// (idle gaps are jumped and not counted).
+	Epochs int
+	// Allocs is how many allocator solves ran — at most one per epoch,
+	// fewer when a stationary allocator's cached rates were reused.
+	Allocs int
+	// SolvedFlows is the total flows handed to the allocator across
+	// all solves (the engine's real allocator work; always the full
+	// active set, unlike leap's touched components).
+	SolvedFlows int
+	// MaxSolve is the largest single solve's flow count — the active-
+	// set high-water mark at allocation time.
+	MaxSolve int
+	// SkippedAllocs is how many active epochs reused the previous
+	// allocation because the allocator is stationary and no flow
+	// arrived or departed — the epoch engine's only elision.
+	SkippedAllocs int
+}
+
+// Stats returns the engine's work telemetry so far.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Epochs:        e.epochs,
+		Allocs:        e.allocs,
+		SolvedFlows:   e.solvedFlows,
+		MaxSolve:      e.maxSolve,
+		SkippedAllocs: e.skipped,
+	}
 }
 
 // StationaryAllocator is an optional Allocator refinement: a true
@@ -204,6 +246,7 @@ func (e *Engine) Step() bool {
 	}
 	dt := e.cfg.Epoch
 	if len(e.active) > 0 {
+		e.epochs++
 		if e.changed || !e.stationary {
 			if cap(e.rates) < len(e.active) {
 				e.rates = make([]float64, 2*len(e.active))
@@ -214,6 +257,13 @@ func (e *Engine) Step() bool {
 				f.Rate = rates[i]
 			}
 			e.changed = false
+			e.allocs++
+			e.solvedFlows += len(e.active)
+			if len(e.active) > e.maxSolve {
+				e.maxSolve = len(e.active)
+			}
+		} else {
+			e.skipped++
 		}
 		// Drain; stamp sub-epoch completions.
 		firstDone := len(e.finished)

@@ -50,7 +50,7 @@ type Group struct {
 	// members' most recently allocated total rate, qmin the minimum
 	// member path price (DGD), and scan is a spare per-pass
 	// accumulator (member counts, share sums).
-	stamp   int
+	stamp   int64
 	gid     int
 	aggRate float64
 	qmin    float64

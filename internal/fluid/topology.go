@@ -126,6 +126,44 @@ func (t *FatTree) Route(src, dst, pathChoice int) []int {
 	}
 }
 
+// LinkShards partitions the fat-tree's directed links into k pod-local
+// shards — the topology-locality partition behind the leap engine's
+// sharded link index (leap.Config{LinkShards}). Every link is assigned
+// to the pod whose sub-network it serves: host links, edge↔aggregation
+// links, and the aggregation side of each aggregation↔core link all
+// belong to their pod. Any flow whose path stays inside one pod (the
+// locality a datacenter workload's placement optimizes for) is then
+// shard-pure, so concurrent component floods and completion-event
+// resplices for flows in different pods touch disjoint shards; an
+// inter-pod flow's path spans its two pods' shards, which the engine
+// detects and handles serially.
+func (t *FatTree) LinkShards() []int {
+	half := t.K / 2
+	shard := make([]int, t.Net.Links())
+	for h := range t.hostUp {
+		p, _ := t.locate(h)
+		shard[t.hostUp[h]] = p
+		shard[t.hostDown[h]] = p
+	}
+	for p := 0; p < t.K; p++ {
+		for e := 0; e < half; e++ {
+			for a := 0; a < half; a++ {
+				shard[t.edgeUp[p][e][a]] = p
+			}
+		}
+		for a := 0; a < half; a++ {
+			for e := 0; e < half; e++ {
+				shard[t.edgeDown[p][a][e]] = p
+			}
+			for c := 0; c < half; c++ {
+				shard[t.aggUp[p][a][c]] = p
+				shard[t.aggDown[p][a][c]] = p
+			}
+		}
+	}
+	return shard
+}
+
 // PathCount returns the size of the ECMP path set between hosts src
 // and dst: 1 under the same edge switch, k/2 within a pod (one path
 // per aggregation switch), (k/2)² across pods (one per aggregation ×

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"numfabric/internal/core"
+	"numfabric/internal/fluid"
 	"numfabric/internal/leap"
 	"numfabric/internal/netsim"
 	"numfabric/internal/oracle"
@@ -43,7 +44,13 @@ type DynamicConfig struct {
 	// epoch quantization stops dominating short-flow FCTs; the leap
 	// engine ignores it (event-driven time needs no epoch).
 	FluidEpoch sim.Duration
-	Seed       uint64
+	// Workers bounds the leap engine's concurrent solves of the
+	// disjoint components touched by one event batch (leap.Config
+	// {Workers}): 0 uses every core (GOMAXPROCS), 1 forces a serial
+	// run. FCTs are byte-identical either way; the packet and fluid
+	// epoch engines ignore it.
+	Workers int
+	Seed    uint64
 }
 
 // DefaultDynamic returns a scaled dynamic-workload config.
@@ -91,9 +98,13 @@ type DynamicResult struct {
 	// deadline (excluded from Records).
 	Unfinished int
 	// LeapStats is the leap engine's work telemetry (events,
-	// allocations, component sizes) when the run used the leap
-	// engine; nil for the packet and fluid epoch engines.
+	// allocations, component sizes, batch widths) when the run used
+	// the leap engine; nil for the packet and fluid epoch engines.
 	LeapStats *leap.Stats
+	// FluidStats is the epoch engine's work telemetry (epochs,
+	// allocator solves, stationary-skip counts) when the run used the
+	// fluid engine; nil for the packet and leap engines.
+	FluidStats *fluid.Stats
 }
 
 // Fig5Bins are the flow-size bins of Figure 5, in BDP units.

@@ -19,6 +19,10 @@ type FCTConfig struct {
 	// (paper: 0.125).
 	Epsilon float64
 	Topo    TopologyConfig
+	// Workers bounds the leap engine's parallel component solves
+	// (0 = all cores, 1 = serial; leap engine only — see
+	// DynamicConfig.Workers).
+	Workers int
 	Seed    uint64
 }
 
@@ -63,6 +67,7 @@ func RunFCTWith(eng Engine, cfg FCTConfig, scheme Scheme, load float64) FCTPoint
 		Flows:          cfg.FlowsPerLoad,
 		Alpha:          cfg.Epsilon,
 		Drain:          500 * sim.Millisecond,
+		Workers:        cfg.Workers,
 		Seed:           cfg.Seed,
 		SkipFluidIdeal: true, // Figure 7 normalizes by line-rate FCT
 	}

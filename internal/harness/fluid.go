@@ -160,6 +160,10 @@ func runDynamicFlowEngine(cfg DynamicConfig, topo *Topology, eng flowEngine) Dyn
 		s := le.Stats()
 		res.LeapStats = &s
 	}
+	if fe, ok := eng.(interface{ Stats() fluid.Stats }); ok {
+		s := fe.Stats()
+		res.FluidStats = &s
+	}
 	for i, f := range flows {
 		if !f.Done() {
 			res.Unfinished++

@@ -2,6 +2,7 @@ package harness
 
 import (
 	"math"
+	"runtime"
 
 	"numfabric/internal/core"
 	"numfabric/internal/fluid"
@@ -9,6 +10,16 @@ import (
 	"numfabric/internal/sim"
 	"numfabric/internal/workload"
 )
+
+// LeapWorkers resolves a harness-level worker count to the leap
+// engine's convention: 0 (the configs' zero value) means one worker
+// per core, anything else passes through.
+func LeapWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
 
 // LeapAllocatorFor maps a scheme onto the allocator the event-driven
 // leap engine runs once per active-set change. Leap has no intra-event
@@ -56,14 +67,43 @@ func FatTreeWebSearch(ft *fluid.FatTree, load float64, nflows int, rng *sim.RNG)
 	return arrivals, paths
 }
 
+// FatTreeCoflows draws the synchronized coflow workload on ft's hosts
+// (workload.Coflows: grid instants of several equal-size fan-in
+// bursts, web-search burst sizes rounded to power-of-two classes) plus
+// one random ECMP path pick per flow, all from one seeded stream. This
+// is the batched counterpart of FatTreeWebSearch and the parallel leap
+// engine's showcase: every grid instant floods into many link-disjoint
+// components solved concurrently, and bursts sharing a size class
+// complete in shared instants, so the completion side batches too.
+func FatTreeCoflows(ft *fluid.FatTree, load float64, nflows, senders, bursts int, rng *sim.RNG) ([]workload.Arrival, [][]int) {
+	arrivals := workload.Coflows(workload.CoflowConfig{
+		Hosts:    ft.Hosts(),
+		HostLink: sim.BitRate(ft.Rate),
+		Load:     load,
+		CDF:      workload.WebSearch(),
+		Senders:  senders,
+		Bursts:   bursts,
+		Groups:   ft.K, // one locality block per pod
+		MaxFlows: nflows,
+	}, rng)
+	paths := make([][]int, len(arrivals))
+	for i, a := range arrivals {
+		paths[i] = ft.Route(a.Src, a.Dst, rng.Intn(ft.K*ft.K/4))
+	}
+	return arrivals, paths
+}
+
 // RunDynamicLeap is the event-driven counterpart of RunDynamicFluid:
 // the identical Poisson workload (same seed, same arrival schedule and
 // spine choices) played through the leap engine, which advances
 // straight from event to event instead of epoch by epoch.
+// cfg.Workers > 1 (or 0: all cores) solves the disjoint components of
+// each event batch concurrently; FCTs are byte-identical regardless.
 func RunDynamicLeap(cfg DynamicConfig) DynamicResult {
 	topo := NewFluidTopology(cfg.Topo)
 	return runDynamicFlowEngine(cfg, topo, leap.NewEngine(FluidNetwork(topo), leap.Config{
 		Allocator: LeapAllocatorFor(cfg.Scheme),
+		Workers:   LeapWorkers(cfg.Workers),
 	}))
 }
 
@@ -81,7 +121,10 @@ type IncastConfig struct {
 	// Bursts is how many bursts arrive, Interval apart.
 	Bursts   int
 	Interval sim.Duration
-	Seed     uint64
+	// Workers bounds the leap engine's concurrent component solves
+	// (0 = all cores, 1 = serial; results are identical either way).
+	Workers int
+	Seed    uint64
 }
 
 // DefaultIncast returns a scaled incast scenario: 16 senders × 64 KB
@@ -132,6 +175,7 @@ func RunIncastLeap(cfg IncastConfig) IncastResult {
 
 	leng := leap.NewEngine(FluidNetwork(topo), leap.Config{
 		Allocator: LeapAllocatorFor(cfg.Scheme),
+		Workers:   LeapWorkers(cfg.Workers),
 	})
 	flows := make([]*fluid.Flow, len(arrivals))
 	burstOf := make([]int, len(arrivals))

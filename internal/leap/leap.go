@@ -63,11 +63,31 @@
 // workloads, where most flows run alone at line rate, most events
 // reduce to O(path length + log n) — and even the coupled minority
 // pays for its few-flow component, not for the whole active set.
+//
+// One run also scales across cores. All events sharing an instant —
+// a batch of synchronized arrivals plus any completions landing on
+// it — seed one reallocation batch; the flood partitions the touched
+// flows into their disjoint connected components (overlapping seeds
+// merge), and because distinct components are independent by
+// construction, Config{Workers} solves them concurrently on a bounded
+// worker pool (the allocators' fluid.ParallelSubsetAllocator path:
+// per-worker scratch over shared per-link warm state, race-free since
+// components are link-disjoint). Completion events live in per-shard
+// heaps under a topology-locality partition of the links
+// (Config{LinkShards}, e.g. fluid.FatTree.LinkShards), so the
+// post-solve resplicing of each component's events also fans out, one
+// worker per touched shard. Completions are byte-identical for every
+// Workers value: components never interact, event application is
+// per-flow exclusive, and the heaps pop in a canonical (time, id)
+// order regardless of push interleaving.
 package leap
 
 import (
+	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"numfabric/internal/core"
 	"numfabric/internal/fluid"
@@ -87,11 +107,101 @@ type Config struct {
 	// the allocator work it saves. Engines whose Allocator does not
 	// implement fluid.SubsetAllocator run Global regardless.
 	Global bool
+	// Workers bounds the goroutines that concurrently solve the
+	// disjoint components touched by one event batch (all events
+	// sharing an instant). Default (≤ 0 and 1 alike) is fully serial.
+	// Components are independent by construction, so completions are
+	// byte-identical for every Workers value; batches touching a
+	// single component are solved inline with no pool overhead.
+	// Workers > 1 requires the Allocator to implement
+	// fluid.ParallelSubsetAllocator (all built-in allocators do);
+	// otherwise the engine falls back to serial solves. Global mode is
+	// always serial — there is only ever one component to solve.
+	Workers int
+	// LinkShards partitions the links into locality shards (e.g.
+	// fluid.FatTree.LinkShards, one shard per leaf sub-network). A
+	// completion event lives in the heap shard of its flow's first
+	// link, so the parallel resplice after a batch's solves fans out
+	// one worker per touched shard, each touching only its own heap.
+	// len(LinkShards) must equal the network's link count and entries
+	// must be ≥ 0. Nil derives a modulo partition when Workers > 1.
+	// The engine folds any partition down to at most 4×Workers shards
+	// (a single heap when serial): finer shards add scan cost to every
+	// event, not parallelism. The partition never affects results —
+	// only which worker touches which heap.
+	LinkShards []int
+	// SweepThreshold is the stale-event count beyond which a shard's
+	// event heap is bulk-swept (once stale events also outnumber its
+	// live ones); default 64. Any threshold yields identical
+	// completions — it only trades sweep frequency against heap
+	// growth, which TestSweepThresholdEquivalence pins.
+	SweepThreshold int
+}
+
+// parallelMinFlows and parallelMinOps gate the worker pool: a batch
+// whose solvable components cover fewer flows than parallelMinFlows is
+// solved inline (a goroutine wakeup costs more than a small solve),
+// and a batch producing fewer resplice ops than parallelMinOps applies
+// them inline. Both gates are pure functions of the batch, so a run's
+// execution shape is deterministic for a fixed Workers setting — and
+// results are byte-identical regardless.
+const (
+	parallelMinFlows = 64
+	parallelMinOps   = 256
+	// parallelFloodMinSeeds gates the parallel flood: fewer seeds than
+	// this flood faster serially than a pool dispatch costs.
+	parallelFloodMinSeeds = 32
+	// parallelGatherMinShards gates the parallel completion gather:
+	// a due-event instant spanning at least this many shards is popped
+	// per shard concurrently and merge-sorted; fewer pop inline. The
+	// due-event COUNT cannot be known before popping, so the shard
+	// count is the proxy — a synchronized instant that spans many
+	// shards almost always carries many events per shard.
+	parallelGatherMinShards = 4
+)
+
+// runWorkers fans n tasks across at most workers goroutines: each
+// goroutine claims task indices from a shared counter until they run
+// out, and task(w, i) runs task i on worker w — w is unique per
+// goroutine, so per-worker state (a subW solver view) is exclusive.
+// Blocks until every task completes.
+func runWorkers(workers, n int, task func(w, i int)) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				task(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// floodBuf is one shard's flood workspace: the seeds bucketed to the
+// shard and the components its worker grew from them.
+type floodBuf struct {
+	seeds []*fluid.Flow
+	comp  []*fluid.Flow
+	compG []*fluid.Group
+	comps []compRange
 }
 
 func (c Config) withDefaults() Config {
 	if c.Allocator == nil {
 		c.Allocator = fluid.NewWaterFill()
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
+	if c.SweepThreshold <= 0 {
+		c.SweepThreshold = 64
 	}
 	return c
 }
@@ -127,6 +237,24 @@ type Stats struct {
 	// all pays far more still (Config{Global}, measured by
 	// BenchmarkLeapComponents).
 	FullSolveFlows int
+	// Batches is how many reallocation batches ran — one per event
+	// instant whose seeds (same-timestamp arrivals plus completions
+	// landing on it) touched at least one component.
+	Batches int
+	// BatchComponents is the total disjoint components across all
+	// batches; BatchComponents/Batches is the mean batch width, the
+	// parallelism the workload actually exposes.
+	BatchComponents int
+	// MaxBatchComponents is the widest single batch's component count.
+	MaxBatchComponents int
+	// ParallelSolves is how many component solves ran on the worker
+	// pool (zero in serial runs and for single-component batches,
+	// which are solved inline).
+	ParallelSolves int
+	// MaxConcurrentComponents is the largest number of components in
+	// flight concurrently in one batch: min(Workers, the batch's
+	// components).
+	MaxConcurrentComponents int
 }
 
 // flowState is the engine's per-flow bookkeeping, packed to 16 bytes
@@ -180,32 +308,72 @@ func grow[T any](s []T) []T {
 	return s
 }
 
+// compRange is one disjoint connected component within a batch's
+// flood, as index ranges into the engine's comp/compG scratch slices.
+type compRange struct{ f0, f1, g0, g1 int }
+
+// evOp is one deferred completion-event resplice — a flow or group
+// whose rate change requires invalidating and re-pushing its heap
+// event. Ops are produced by the (possibly parallel) solve phase and
+// applied by the (possibly parallel) per-shard resplice phase.
+type evOp struct {
+	f *fluid.Flow  // nil for group ops
+	g *fluid.Group // nil for flow ops
+}
+
+// compResult is one component's solve outcome: the resplice ops it
+// produced and how many flows its allocator call covered (zero for an
+// elided size-one component).
+type compResult struct {
+	ops    []evOp
+	solved int
+}
+
 // Engine advances a fluid network event by event. Between events every
 // rate is constant, so the state at the next event follows in closed
 // form; nothing is simulated in between.
 type Engine struct {
 	net    *fluid.Network
 	alloc  fluid.Allocator
-	sub    fluid.SubsetAllocator // nil in global mode
 	global bool
+	// subW are the per-worker subset-solver views (subW[0] also serves
+	// every serial solve); nil in global mode.
+	subW    []fluid.SubsetAllocator
+	workers int
+	sweep   int
 
 	now      float64
 	pending  []*fluid.Flow // arrival order; pending[next:] not yet admitted
 	next     int
 	unsorted bool
 
+	// active holds the admitted flows in admission order. In component
+	// mode completed flows are compacted out lazily — only once they
+	// reach half the slice — so a completion batch costs its own size,
+	// not a sweep of every active flow; nDone counts the stale entries
+	// (liveActive() is the true active count). Global mode compacts
+	// eagerly, since every re-solve hands e.active to the allocator.
 	active         []*fluid.Flow
+	nDone          int
 	activeGroups   []*fluid.Group
+	nDoneG         int
 	inActive       map[*fluid.Group]bool
 	finished       []*fluid.Flow
 	finishedGroups []*fluid.Group
 
 	rates []float64
-	heap  eventHeap
-	// staleEv counts heap events invalidated by a reallocation but not
-	// yet discarded; when they outnumber the live ones the heap is
-	// swept in one pass.
-	staleEv int
+	// heaps are the per-shard completion-event heaps: an event lives
+	// in the shard of its flow's (or group's first member's) first
+	// link under linkShard, so concurrent resplices of link-disjoint
+	// components touch disjoint heaps. One shard when unsharded.
+	heaps []eventHeap
+	// staleEv[s] counts shard s's events invalidated by a reallocation
+	// but not yet discarded; when they outnumber the live ones the
+	// shard is swept in one pass.
+	staleEv []int
+	// linkShard maps a link to its heap shard; nil means everything in
+	// shard 0.
+	linkShard []int
 	// changed is the global mode's full-re-solve latch.
 	changed bool
 
@@ -215,8 +383,20 @@ type Engine struct {
 	// test and the component flood traverses it as the adjacency.
 	// Global mode keeps no index (every change re-solves everything).
 	linkFlows [][]*fluid.Flow
-	linkMark  []int // links visited by the current flood (stamp = round)
-	round     int
+	// linkMark stamps the links a flood visited with the flood's
+	// round. Rounds come from the atomic roundSrc so concurrent
+	// shard-local floods draw globally unique rounds — a shard's marks
+	// can never collide with another flood's, past or concurrent
+	// (concurrent floods write disjoint entries: a shard-restricted
+	// flood only traverses shard-pure flows, whose links all lie in
+	// its own shard).
+	linkMark []int
+	roundSrc atomic.Int64
+	// fshard[id] is the flow's purity shard: the shard of all its
+	// links when they agree, −1 for a flow spanning shards (which a
+	// shard-local flood must not traverse — reaching one aborts to the
+	// serial flood).
+	fshard []int16
 
 	// fs[id] is the per-flow engine state (flow IDs are dense); gs[id]
 	// the per-group analog.
@@ -230,6 +410,32 @@ type Engine struct {
 	touched []*fluid.Flow
 	comp    []*fluid.Flow
 	compG   []*fluid.Group
+	// comps/compRes/ratesArena are the per-batch component table: the
+	// flood fills comps with disjoint ranges over comp/compG, each
+	// component solves into its ratesArena range and records its
+	// outcome in its compRes slot (slots keep their op buffers warm
+	// across batches). compOrder is the dispatch order — largest
+	// component first, so the worker pool ends a batch balanced.
+	comps      []compRange
+	compRes    []compResult
+	compOrder  []int
+	ratesArena []float64
+	// shardOps/shardList scatter a batch's resplice ops by home shard
+	// for the parallel phase; globalOps is the global mode's one-shot
+	// op buffer.
+	shardOps  [][]evOp
+	shardList []int
+	globalOps compResult
+	// floodBufs are the per-shard flood workspaces of the parallel
+	// flood (seeds bucketed by purity shard, then one worker BFSing
+	// each shard's components); floodShards lists the shards the
+	// current batch seeded. shardEv are the per-shard due-completion
+	// buffers of the parallel event gather.
+	floodBufs   []floodBuf
+	floodShards []int
+	shardEv     [][]event
+	dueShards   []int
+	mergedEv    []event
 
 	nextID      int
 	nextGroupID int
@@ -240,6 +446,12 @@ type Engine struct {
 	maxComp   int
 	elided    int
 	fullSolve int
+
+	batches       int
+	batchComps    int
+	maxBatch      int
+	parSolves     int
+	maxConcurrent int
 }
 
 // NewEngine returns an event-driven engine over net.
@@ -251,13 +463,109 @@ func NewEngine(net *fluid.Network, cfg Config) *Engine {
 		alloc:    cfg.Allocator,
 		inActive: make(map[*fluid.Group]bool),
 		global:   cfg.Global || !ok,
+		workers:  cfg.Workers,
+		sweep:    cfg.SweepThreshold,
 	}
-	if !e.global {
-		e.sub = sub
+	if e.global {
+		// A global re-solve is one component spanning everything:
+		// nothing to parallelize, nothing to shard.
+		e.workers = 1
+	} else {
 		e.linkFlows = make([][]*fluid.Flow, net.Links())
 		e.linkMark = make([]int, net.Links())
+		if ps, isPar := cfg.Allocator.(fluid.ParallelSubsetAllocator); isPar {
+			// Prime once so no worker races on lazy warm-state
+			// initialization; every solve — serial ones included —
+			// then goes through a Worker view, which keeps results
+			// byte-identical across Workers values.
+			ps.Prime(net)
+			e.subW = make([]fluid.SubsetAllocator, e.workers)
+			for i := range e.subW {
+				e.subW[i] = ps.Worker()
+			}
+		} else {
+			e.workers = 1
+			e.subW = []fluid.SubsetAllocator{sub}
+		}
 	}
+	nsh := 1
+	if !e.global {
+		switch {
+		case cfg.LinkShards != nil:
+			if len(cfg.LinkShards) != net.Links() {
+				panic(fmt.Sprintf("leap: LinkShards has %d entries for %d links",
+					len(cfg.LinkShards), net.Links()))
+			}
+			e.linkShard = append([]int(nil), cfg.LinkShards...)
+			for _, s := range e.linkShard {
+				if s < 0 {
+					panic("leap: negative LinkShards entry")
+				}
+				if s+1 > nsh {
+					nsh = s + 1
+				}
+			}
+		case e.workers > 1:
+			// No topology partition given: stripe links across shards
+			// so the resplice phase can still fan out.
+			nsh = net.Links()
+			e.linkShard = make([]int, net.Links())
+			for l := range e.linkShard {
+				e.linkShard[l] = l
+			}
+		}
+		// Fold the partition down to at most 4× the worker count:
+		// more shards than that cannot add resplice parallelism, but
+		// every extra shard heap costs the event loop a comparison per
+		// top-of-heaps scan. Workers: 1 folds to a single heap — the
+		// serial engine keeps its PR 4 event loop byte-for-byte. The
+		// fold (like the partition itself) never affects results.
+		maxSh := 4 * e.workers
+		if e.workers == 1 {
+			maxSh = 1
+		}
+		if nsh > maxSh {
+			if maxSh <= 1 {
+				e.linkShard = nil
+			} else {
+				for l := range e.linkShard {
+					e.linkShard[l] %= maxSh
+				}
+			}
+			nsh = maxSh
+		}
+	}
+	e.heaps = make([]eventHeap, nsh)
+	e.staleEv = make([]int, nsh)
+	e.shardOps = make([][]evOp, nsh)
+	e.floodBufs = make([]floodBuf, nsh)
+	e.shardEv = make([][]event, nsh)
 	return e
+}
+
+// pureShard returns the shard every one of links lies in, or −1 when
+// they span shards (0 when unsharded).
+func (e *Engine) pureShard(links []int) int16 {
+	if e.linkShard == nil || len(links) == 0 {
+		return 0
+	}
+	s := e.linkShard[links[0]]
+	for _, l := range links[1:] {
+		if e.linkShard[l] != s {
+			return -1
+		}
+	}
+	return int16(s)
+}
+
+// groupPure reports whether every member of g is pure in shard s.
+func (e *Engine) groupPure(g *fluid.Group, s int) bool {
+	for _, m := range g.Members {
+		if e.fshard[m.ID] != int16(s) {
+			return false
+		}
+	}
+	return true
 }
 
 // Now returns the current simulated time in seconds.
@@ -268,7 +576,10 @@ func (e *Engine) Net() *fluid.Network { return e.net }
 
 // Active returns the live view of active flows (including group
 // members), in stable admission order; valid until the next Step.
-func (e *Engine) Active() []*fluid.Flow { return e.active }
+func (e *Engine) Active() []*fluid.Flow {
+	e.compactActive()
+	return e.active
+}
 
 // Finished returns every completed flow, in completion order. Group
 // members appear here too, stamped with their group's finish time.
@@ -286,12 +597,17 @@ func (e *Engine) Events() int { return e.events }
 // Stats returns the engine's work telemetry so far.
 func (e *Engine) Stats() Stats {
 	return Stats{
-		Events:         e.events,
-		Allocs:         e.allocs,
-		SolvedFlows:    e.solved,
-		MaxComponent:   e.maxComp,
-		Elided:         e.elided,
-		FullSolveFlows: e.fullSolve,
+		Events:                  e.events,
+		Allocs:                  e.allocs,
+		SolvedFlows:             e.solved,
+		MaxComponent:            e.maxComp,
+		Elided:                  e.elided,
+		FullSolveFlows:          e.fullSolve,
+		Batches:                 e.batches,
+		BatchComponents:         e.batchComps,
+		MaxBatchComponents:      e.maxBatch,
+		ParallelSolves:          e.parSolves,
+		MaxConcurrentComponents: e.maxConcurrent,
 	}
 }
 
@@ -302,6 +618,7 @@ func (e *Engine) AddFlow(links []int, u core.Utility, sizeBytes int64, at float6
 	f := fluid.NewFlow(e.nextID, links, u, sizeBytes, at)
 	e.nextID++
 	e.fs = append(grow(e.fs), flowState{})
+	e.fshard = append(grow(e.fshard), e.pureShard(links))
 	if n := len(e.pending); n > 0 && at < e.pending[n-1].Arrive {
 		e.unsorted = true
 	}
@@ -435,74 +752,223 @@ func (e *Engine) unlink(f *fluid.Flow) (coupled bool) {
 	return coupled
 }
 
-// enqueue adds f to the component being collected, once.
-func (e *Engine) enqueue(f *fluid.Flow) {
+// enqueueTo adds f to the component list being collected, once.
+func (e *Engine) enqueueTo(list []*fluid.Flow, f *fluid.Flow) []*fluid.Flow {
 	st := &e.fs[f.ID]
 	if f.Done() || st.bits&inCompBit != 0 {
-		return
+		return list
 	}
 	st.bits |= inCompBit
-	e.comp = append(e.comp, f)
+	return append(list, f)
 }
 
-// collectComponent floods out from the pending seeds over the
-// link-sharing graph (link lists for link neighbors, group membership
-// for payload coupling) and returns the union of the touched connected
-// components — flows in stable admission order, plus the groups they
-// span. Seeds that already completed contribute nothing. Completed
-// flows are compacted out of every link list the flood scans.
-func (e *Engine) collectComponent() ([]*fluid.Flow, []*fluid.Group) {
-	e.round++
-	e.comp = e.comp[:0]
-	e.compG = e.compG[:0]
-	for _, f := range e.touched {
-		e.fs[f.ID].bits &^= seededBit
-		e.enqueue(f)
-	}
-	e.touched = e.touched[:0]
-	for i := 0; i < len(e.comp); i++ {
-		f := e.comp[i]
-		if g := f.Group; g != nil && e.gs[g.ID].mark != e.round {
-			e.gs[g.ID].mark = e.round
-			e.compG = append(e.compG, g)
+// floodComponent BFSes the connected component of seed over the
+// link-sharing graph into buf. shard ≥ 0 restricts the flood to
+// shard-pure flows: reaching a flow or group outside the shard returns
+// false (the caller abandons the attempt and falls back to the serial
+// unrestricted flood; the visited marks left behind are harmless,
+// since every flood draws a globally unique round). A completed seed
+// contributes nothing.
+func (e *Engine) floodComponent(seed *fluid.Flow, shard int, buf *floodBuf) bool {
+	f0, g0 := len(buf.comp), len(buf.compG)
+	r := int(e.roundSrc.Add(1))
+	buf.comp = e.enqueueTo(buf.comp, seed)
+	for i := f0; i < len(buf.comp); i++ {
+		fl := buf.comp[i]
+		if g := fl.Group; g != nil && e.gs[g.ID].mark != r {
+			if shard >= 0 && !e.groupPure(g, shard) {
+				return false
+			}
+			e.gs[g.ID].mark = r
+			buf.compG = append(buf.compG, g)
 			for _, m := range g.Members {
-				e.enqueue(m)
+				buf.comp = e.enqueueTo(buf.comp, m)
 			}
 		}
-		for _, l := range f.Links {
-			if e.linkMark[l] == e.round {
+		for _, l := range fl.Links {
+			if e.linkMark[l] == r {
 				continue
 			}
-			e.linkMark[l] = e.round
+			e.linkMark[l] = r
 			for _, n := range e.linkFlows[l] {
-				e.enqueue(n)
+				if shard >= 0 && e.fshard[n.ID] != int16(shard) {
+					return false
+				}
+				buf.comp = e.enqueueTo(buf.comp, n)
 			}
 		}
-	}
-	for _, f := range e.comp {
-		e.fs[f.ID].bits &^= inCompBit
 	}
 	// Insertion sort into admission order: components are small, and
 	// this dodges sort.Slice's per-call overhead on the hot path.
-	comp := e.comp
+	comp := buf.comp[f0:]
 	for i := 1; i < len(comp); i++ {
-		f := comp[i]
-		k := e.fs[f.ID].seq
+		fl := comp[i]
+		k := e.fs[fl.ID].seq
 		j := i - 1
 		for j >= 0 && e.fs[comp[j].ID].seq > k {
 			comp[j+1] = comp[j]
 			j--
 		}
-		comp[j+1] = f
+		comp[j+1] = fl
 	}
-	return comp, e.compG
+	buf.comps = append(buf.comps, compRange{f0, len(buf.comp), g0, len(buf.compG)})
+	return true
+}
+
+// collectComponents floods out from the pending seeds over the
+// link-sharing graph (link lists for link neighbors, group membership
+// for payload coupling) and partitions the touched flows into their
+// disjoint connected components: one BFS per seed not absorbed by an
+// earlier seed's flood, so overlapping seeds merge into one component
+// and distinct components never share a link or a group. Each
+// component's flows land in stable admission order, with the groups it
+// spans alongside; seeds that already completed contribute nothing.
+func (e *Engine) collectComponents() []compRange {
+	if e.workers > 1 && len(e.heaps) > 1 && len(e.touched) >= parallelFloodMinSeeds {
+		if done := e.collectComponentsParallel(); done {
+			return e.comps
+		}
+	}
+	e.comps = e.comps[:0]
+	e.comp = e.comp[:0]
+	e.compG = e.compG[:0]
+	for _, f := range e.touched {
+		e.fs[f.ID].bits &^= seededBit
+	}
+	fb := floodBuf{comp: e.comp, compG: e.compG, comps: e.comps}
+	for _, f := range e.touched {
+		if f.Done() || e.fs[f.ID].bits&inCompBit != 0 {
+			continue
+		}
+		e.floodComponent(f, -1, &fb)
+	}
+	e.comp, e.compG, e.comps = fb.comp, fb.compG, fb.comps
+	e.touched = e.touched[:0]
+	for _, f := range e.comp {
+		e.fs[f.ID].bits &^= inCompBit
+	}
+	return e.comps
+}
+
+// collectComponentsParallel is the sharded flood: seeds bucket by
+// their purity shard and one worker per touched shard grows that
+// shard's components — race-free because a shard-restricted flood
+// only visits shard-pure flows, links, and groups, which are disjoint
+// across shards by construction. It reports false without collecting
+// when the batch cannot shard (an impure seed, a flood escaping its
+// shard, or fewer than two touched shards); the caller then runs the
+// serial flood. The component SET is identical either way — only the
+// collection order differs, which nothing downstream depends on.
+func (e *Engine) collectComponentsParallel() bool {
+	touched := e.floodShards[:0]
+	defer func() { e.floodShards = touched[:0] }()
+	reset := func() {
+		for _, s := range touched {
+			e.floodBufs[s].seeds = e.floodBufs[s].seeds[:0]
+		}
+	}
+	for _, f := range e.touched {
+		e.fs[f.ID].bits &^= seededBit
+		s := e.fshard[f.ID]
+		if s < 0 {
+			reset()
+			return false
+		}
+		fb := &e.floodBufs[s]
+		if len(fb.seeds) == 0 {
+			touched = append(touched, int(s))
+		}
+		fb.seeds = append(fb.seeds, f)
+	}
+	if len(touched) < 2 {
+		reset()
+		return false
+	}
+	var aborted atomic.Bool
+	workers := e.workers
+	if workers > len(touched) {
+		workers = len(touched)
+	}
+	runWorkers(workers, len(touched), func(_, ti int) {
+		fb := &e.floodBufs[touched[ti]]
+		fb.comp = fb.comp[:0]
+		fb.compG = fb.compG[:0]
+		fb.comps = fb.comps[:0]
+		for _, f := range fb.seeds {
+			if f.Done() || e.fs[f.ID].bits&inCompBit != 0 {
+				continue
+			}
+			if !e.floodComponent(f, int(e.fshard[f.ID]), fb) {
+				aborted.Store(true)
+				return
+			}
+		}
+	})
+	if aborted.Load() {
+		// Abandon the attempt: clear the visit bits the partial floods
+		// set (their rounds are already unique, so the link and group
+		// marks need no undo) and let the serial flood redo the batch.
+		for _, s := range touched {
+			fb := &e.floodBufs[s]
+			for _, f := range fb.comp {
+				e.fs[f.ID].bits &^= inCompBit
+			}
+			fb.seeds = fb.seeds[:0]
+		}
+		return false
+	}
+	// Concatenate the shard results, remapping ranges, in the
+	// deterministic first-seed shard order.
+	e.comp = e.comp[:0]
+	e.compG = e.compG[:0]
+	e.comps = e.comps[:0]
+	for _, s := range touched {
+		fb := &e.floodBufs[s]
+		off, goff := len(e.comp), len(e.compG)
+		e.comp = append(e.comp, fb.comp...)
+		e.compG = append(e.compG, fb.compG...)
+		for _, r := range fb.comps {
+			e.comps = append(e.comps, compRange{r.f0 + off, r.f1 + off, r.g0 + goff, r.g1 + goff})
+		}
+		fb.seeds = fb.seeds[:0]
+	}
+	e.touched = e.touched[:0]
+	for _, f := range e.comp {
+		e.fs[f.ID].bits &^= inCompBit
+	}
+	return true
+}
+
+// flowShard returns the heap shard owning f's completion event: the
+// shard of its first link (everything is shard 0 when unsharded).
+func (e *Engine) flowShard(f *fluid.Flow) int {
+	if e.linkShard == nil || len(f.Links) == 0 {
+		return 0
+	}
+	return e.linkShard[f.Links[0]]
+}
+
+// groupShard returns the heap shard owning g's completion event: its
+// first member's shard.
+func (e *Engine) groupShard(g *fluid.Group) int {
+	if e.linkShard == nil || len(g.Members) == 0 {
+		return 0
+	}
+	return e.flowShard(g.Members[0])
+}
+
+func (e *Engine) opShard(op evOp) int {
+	if op.f != nil {
+		return e.flowShard(op.f)
+	}
+	return e.groupShard(op.g)
 }
 
 // invalidateFlow bumps f's epoch, marking any heap event it has stale.
 func (e *Engine) invalidateFlow(f *fluid.Flow) {
 	s := &e.fs[f.ID]
 	if s.bits&evBit != 0 {
-		e.staleEv++
+		e.staleEv[e.flowShard(f)]++
 	}
 	s.bits = (s.bits + epInc) &^ evBit
 }
@@ -510,7 +976,7 @@ func (e *Engine) invalidateFlow(f *fluid.Flow) {
 func (e *Engine) invalidateGroup(g *fluid.Group) {
 	s := &e.gs[g.ID]
 	if s.bits&evBit != 0 {
-		e.staleEv++
+		e.staleEv[e.groupShard(g)]++
 	}
 	s.bits = (s.bits + epInc) &^ evBit
 }
@@ -518,13 +984,13 @@ func (e *Engine) invalidateGroup(g *fluid.Group) {
 func (e *Engine) pushFlowEvent(f *fluid.Flow) {
 	s := &e.fs[f.ID]
 	s.bits |= evBit
-	e.heap.push(event{t: e.now + f.Remaining*8/f.Rate, id: f.ID, ep: s.bits & epMask, f: f})
+	e.heaps[e.flowShard(f)].push(event{t: e.now + f.Remaining*8/f.Rate, id: f.ID, ep: s.bits & epMask, f: f})
 }
 
 func (e *Engine) pushGroupEvent(g *fluid.Group) {
 	s := &e.gs[g.ID]
 	s.bits |= evBit
-	e.heap.push(event{t: e.now + g.Remaining*8/g.Rate(), id: g.ID, ep: s.bits & epMask, g: g})
+	e.heaps[e.groupShard(g)].push(event{t: e.now + g.Remaining*8/g.Rate(), id: g.ID, ep: s.bits & epMask, g: g})
 }
 
 // valid reports whether a heap event is still live: its owner running
@@ -536,39 +1002,57 @@ func (e *Engine) valid(ev event) bool {
 	return ev.ep == e.gs[ev.g.ID].bits&epMask && !ev.g.Done()
 }
 
-// pruneStale discards stale events sitting on top of the heap so
-// top() is a live completion. staleEv == 0 proves every event valid
-// (stale ones are counted when their owner's epoch is bumped), so the
-// common all-live case costs one comparison.
-func (e *Engine) pruneStale() {
-	for e.staleEv > 0 && e.heap.len() > 0 && !e.valid(e.heap.top()) {
-		e.heap.pop()
-		e.staleEv--
+// earliest prunes stale events off every shard's top and returns the
+// globally earliest live completion event with its shard. A shard
+// whose staleEv is zero is provably all-live (stale events are counted
+// when their owner's epoch is bumped), so the common case costs one
+// comparison per shard.
+func (e *Engine) earliest() (event, int, bool) {
+	var best event
+	bs := -1
+	for s := range e.heaps {
+		h := &e.heaps[s]
+		for e.staleEv[s] > 0 && h.len() > 0 && !e.valid(h.top()) {
+			h.pop()
+			e.staleEv[s]--
+		}
+		if h.len() == 0 {
+			continue
+		}
+		if bs < 0 || h.top().before(best) {
+			best, bs = h.top(), s
+		}
 	}
+	return best, bs, bs >= 0
 }
 
-// maybeCompact sweeps the heap when stale events outnumber live ones.
+// maybeCompact sweeps any shard whose stale events exceed the sweep
+// threshold and outnumber its live ones.
 func (e *Engine) maybeCompact() {
-	if e.staleEv > 64 && 2*e.staleEv > e.heap.len() {
-		e.heap.compact(e.valid)
-		e.staleEv = 0
+	for s := range e.heaps {
+		if e.staleEv[s] > e.sweep && 2*e.staleEv[s] > e.heaps[s].len() {
+			e.heaps[s].compact(e.valid)
+			e.staleEv[s] = 0
+		}
 	}
 }
 
-// applyFlowRate installs a non-member flow's new rate and resplices
-// its completion event if the rate actually moved. A completion time
-// computed from an unchanged rate is still exact — drain is linear —
-// so the existing event stands untouched, which is what keeps
-// untouched rates' schedules byte-stable across other components'
+// preApplyFlow installs a non-member flow's new rate and materializes
+// its lazy drain, reporting whether its completion event must be
+// respliced (the caller's applyOp — possibly on the shard's worker —
+// performs the actual invalidate+push). A completion time computed
+// from an unchanged rate is still exact — drain is linear — so the
+// existing event stands untouched, which is what keeps untouched
+// rates' schedules byte-stable across other components'
 // reallocations.
-func (e *Engine) applyFlowRate(f *fluid.Flow, rate float64) {
+func (e *Engine) preApplyFlow(f *fluid.Flow, rate float64) bool {
 	old := f.Rate
 	if f.SizeBytes == 0 {
 		f.Rate = rate
-		return
+		return false
 	}
 	if rate == old && (e.fs[f.ID].bits&evBit != 0) == (rate > 0) {
-		return
+		return false
 	}
 	s := &e.fs[f.ID]
 	if old > 0 {
@@ -581,15 +1065,43 @@ func (e *Engine) applyFlowRate(f *fluid.Flow, rate float64) {
 	}
 	s.refT = e.now
 	f.Rate = rate
-	e.invalidateFlow(f)
-	if rate > 0 {
-		e.pushFlowEvent(f)
+	return true
+}
+
+// applyOp performs one deferred event resplice. Safe to run
+// concurrently for ops homed in distinct shards: it touches only the
+// op's own flow/group state and its home shard's heap, and every
+// flow/group appears in at most one op per batch.
+func (e *Engine) applyOp(op evOp) {
+	if op.f != nil {
+		e.invalidateFlow(op.f)
+		if op.f.Rate > 0 {
+			e.pushFlowEvent(op.f)
+		}
+		return
+	}
+	e.invalidateGroup(op.g)
+	if op.g.Rate() > 0 {
+		e.pushGroupEvent(op.g)
 	}
 }
 
-// applyRates installs freshly solved rates for flows (and the groups
-// they span) and resplices exactly the events whose rates moved.
-func (e *Engine) applyRates(flows []*fluid.Flow, groups []*fluid.Group, rates []float64) {
+// applyFlowRate is preApplyFlow plus an immediate resplice — the
+// serial path for isolated arrivals and the global mode.
+func (e *Engine) applyFlowRate(f *fluid.Flow, rate float64) {
+	if e.preApplyFlow(f, rate) {
+		e.applyOp(evOp{f: f})
+	}
+}
+
+// preApply installs one component's freshly solved rates (and the lazy
+// group-payload materialization that must precede them) and records
+// exactly the events whose rates moved as resplice ops in res.
+// Everything it touches — flow rates and refTs, group payloads, the
+// seededBit scratch — is private to the component, so components
+// pre-apply concurrently; only the recorded ops need the per-shard
+// resplice phase.
+func (e *Engine) preApply(flows []*fluid.Flow, groups []*fluid.Group, rates []float64, res *compResult) {
 	// Detect member-rate movement, then materialize the moved groups'
 	// lazy drain at their outgoing total, before any rate is installed.
 	for _, g := range groups {
@@ -618,7 +1130,9 @@ func (e *Engine) applyRates(flows []*fluid.Flow, groups []*fluid.Group, rates []
 			f.Rate = rates[i]
 			continue
 		}
-		e.applyFlowRate(f, rates[i])
+		if e.preApplyFlow(f, rates[i]) {
+			res.ops = append(res.ops, evOp{f: f})
+		}
 	}
 	for _, g := range groups {
 		if g.SizeBytes == 0 {
@@ -629,42 +1143,166 @@ func (e *Engine) applyRates(flows []*fluid.Flow, groups []*fluid.Group, rates []
 		if gb&seededBit == 0 && (gb&evBit != 0) == (total > 0) {
 			continue
 		}
-		e.invalidateGroup(g)
-		if total > 0 {
-			e.pushGroupEvent(g)
-		}
+		res.ops = append(res.ops, evOp{g: g})
 	}
 }
 
-// reallocate re-solves the component(s) the pending seeds touch. A
-// component of one plain flow needs no allocator at all: it takes its
-// path's minimum capacity, the same independence elision its arrival
-// fast path uses, generalized to departures that strand a lone
-// neighbor.
+// solveComponent runs one component's phase A on the given solver
+// view: the size-≤1 elision or the allocator call, then the
+// component-local rate pre-apply. Concurrent-safe across distinct
+// components and workers.
+func (e *Engine) solveComponent(alloc fluid.SubsetAllocator, ci int) {
+	r := e.comps[ci]
+	res := &e.compRes[ci]
+	res.ops = res.ops[:0]
+	res.solved = 0
+	flows := e.comp[r.f0:r.f1]
+	if len(flows) == 1 && flows[0].Group == nil {
+		// A component of one plain flow needs no allocator at all: it
+		// takes its path's minimum capacity, the same independence
+		// elision its arrival fast path uses, generalized to
+		// departures that strand a lone neighbor.
+		if e.preApplyFlow(flows[0], e.pathMinCap(flows[0])) {
+			res.ops = append(res.ops, evOp{f: flows[0]})
+		}
+		return
+	}
+	rates := e.ratesArena[r.f0:r.f1]
+	alloc.AllocateSubset(e.net, flows, rates)
+	res.solved = len(flows)
+	e.preApply(flows, e.compG[r.g0:r.g1], rates, res)
+}
+
+// reallocate re-solves the disjoint component(s) the pending seeds
+// touch — one batch. Multi-component batches fan the solves across the
+// worker pool (phase A: allocator call + component-local rate install)
+// and then resplice the moved completion events per heap shard (phase
+// B), both phases race-free by construction: components are link- and
+// flow-disjoint, and each shard's heap has exactly one worker.
 func (e *Engine) reallocate() {
-	comp, groups := e.collectComponent()
-	if len(comp) == 0 {
+	comps := e.collectComponents()
+	nc := len(comps)
+	if nc == 0 {
 		return
 	}
-	e.fullSolve += len(e.active)
-	if len(comp) == 1 && comp[0].Group == nil {
-		e.elided++
-		e.applyFlowRate(comp[0], e.pathMinCap(comp[0]))
-		e.maybeCompact()
-		return
+	e.fullSolve += e.liveActive()
+	e.batches++
+	e.batchComps += nc
+	if nc > e.maxBatch {
+		e.maxBatch = nc
 	}
-	n := len(comp)
-	if cap(e.rates) < n {
-		e.rates = make([]float64, 2*n)
+	if n := len(e.comp); cap(e.ratesArena) < n {
+		e.ratesArena = make([]float64, 2*n+64)
 	}
-	rates := e.rates[:n]
-	e.sub.AllocateSubset(e.net, comp, rates)
-	e.allocs++
-	e.solved += n
-	if n > e.maxComp {
-		e.maxComp = n
+	e.ratesArena = e.ratesArena[:cap(e.ratesArena)]
+	if nc > len(e.compRes) {
+		e.compRes = append(e.compRes, make([]compResult, nc-len(e.compRes))...)
 	}
-	e.applyRates(comp, groups, rates)
+
+	// Phase A: solve and pre-apply each component — concurrently when
+	// the batch is wide enough AND carries enough allocator work to
+	// repay the pool dispatch (tiny two-component batches solve faster
+	// inline than a goroutine wakeup costs). The gate is a pure
+	// function of the batch, so a run's solve sequence stays
+	// deterministic for a fixed Workers setting.
+	workers := e.workers
+	if workers > nc {
+		workers = nc
+	}
+	solvable := 0
+	for _, r := range e.comps {
+		if n := r.f1 - r.f0; n > 1 || r.g1 > r.g0 {
+			solvable += n
+		}
+	}
+	if workers > 1 && solvable < parallelMinFlows {
+		workers = 1
+	}
+	if workers > 1 {
+		if workers > e.maxConcurrent {
+			e.maxConcurrent = workers
+		}
+		// Dispatch largest-first: with a handful of uneven components
+		// per batch, longest-processing-time order keeps the workers
+		// balanced to the end.
+		order := e.compOrder[:0]
+		for ci := 0; ci < nc; ci++ {
+			order = append(order, ci)
+		}
+		sort.Slice(order, func(i, j int) bool {
+			si := e.comps[order[i]].f1 - e.comps[order[i]].f0
+			sj := e.comps[order[j]].f1 - e.comps[order[j]].f0
+			if si != sj {
+				return si > sj
+			}
+			return order[i] < order[j]
+		})
+		e.compOrder = order
+		runWorkers(workers, nc, func(w, oi int) {
+			e.solveComponent(e.subW[w], order[oi])
+		})
+	} else {
+		for ci := 0; ci < nc; ci++ {
+			e.solveComponent(e.subW[0], ci)
+		}
+	}
+
+	// Reduce the per-component outcomes (deterministic: slot order)
+	// and scatter the resplice ops to their home shards.
+	parallel := workers > 1
+	touched := e.shardList[:0]
+	for ci := 0; ci < nc; ci++ {
+		r := &e.compRes[ci]
+		if r.solved > 0 {
+			e.allocs++
+			e.solved += r.solved
+			if r.solved > e.maxComp {
+				e.maxComp = r.solved
+			}
+			if parallel {
+				e.parSolves++
+			}
+		} else {
+			e.elided++
+		}
+		for _, op := range r.ops {
+			s := e.opShard(op)
+			if len(e.shardOps[s]) == 0 {
+				touched = append(touched, s)
+			}
+			e.shardOps[s] = append(e.shardOps[s], op)
+		}
+	}
+
+	// Phase B: resplice per shard, concurrently when several shards
+	// are touched and the op count repays a second pool dispatch. Ops
+	// within a shard stay in component order; the heaps pop in
+	// canonical (time, id) order regardless.
+	totalOps := 0
+	for _, s := range touched {
+		totalOps += len(e.shardOps[s])
+	}
+	if parallel && len(touched) > 1 && totalOps >= parallelMinOps {
+		workers = e.workers
+		if workers > len(touched) {
+			workers = len(touched)
+		}
+		runWorkers(workers, len(touched), func(_, ti int) {
+			for _, op := range e.shardOps[touched[ti]] {
+				e.applyOp(op)
+			}
+		})
+	} else {
+		for _, s := range touched {
+			for _, op := range e.shardOps[s] {
+				e.applyOp(op)
+			}
+		}
+	}
+	for _, s := range touched {
+		e.shardOps[s] = e.shardOps[s][:0]
+	}
+	e.shardList = touched[:0]
 	e.maybeCompact()
 }
 
@@ -682,7 +1320,11 @@ func (e *Engine) allocateGlobal() {
 	if n > e.maxComp {
 		e.maxComp = n
 	}
-	e.applyRates(e.active, e.activeGroups, rates)
+	e.globalOps.ops = e.globalOps.ops[:0]
+	e.preApply(e.active, e.activeGroups, rates, &e.globalOps)
+	for _, op := range e.globalOps.ops {
+		e.applyOp(op)
+	}
 	e.changed = false
 	e.maybeCompact()
 }
@@ -693,7 +1335,7 @@ func (e *Engine) allocateGlobal() {
 // have under eager draining.
 func (e *Engine) materialize(t float64) {
 	for _, f := range e.active {
-		if f.SizeBytes == 0 || f.Group != nil || f.Rate <= 0 {
+		if f.Done() || f.SizeBytes == 0 || f.Group != nil || f.Rate <= 0 {
 			continue
 		}
 		s := &e.fs[f.ID]
@@ -704,7 +1346,7 @@ func (e *Engine) materialize(t float64) {
 		s.refT = t
 	}
 	for _, g := range e.activeGroups {
-		if g.SizeBytes == 0 {
+		if g.Done() || g.SizeBytes == 0 {
 			continue
 		}
 		total := g.Rate()
@@ -729,57 +1371,168 @@ func (e *Engine) materialize(t float64) {
 func (e *Engine) complete(t float64) {
 	slack := 1e-12 * (1 + math.Abs(t))
 	done := false
-	for e.heap.len() > 0 {
-		ev := e.heap.top()
-		if e.staleEv > 0 && !e.valid(ev) {
-			e.heap.pop()
-			e.staleEv--
-			continue
+	if e.workers > 1 && len(e.heaps) > 1 {
+		if retired, handled := e.completeParallel(t, slack); handled {
+			if !retired {
+				return
+			}
+			done = true
+			goto compact
 		}
-		if ev.t > t+slack {
+	}
+	for {
+		ev, s, ok := e.earliest()
+		if !ok || ev.t > t+slack {
 			break
 		}
-		e.heap.pop()
+		e.heaps[s].pop()
 		done = true
-		if ev.f != nil {
-			f := ev.f
-			e.fs[f.ID].bits &^= evBit
-			f.Finish = ev.t
-			f.Remaining = 0
-			e.finished = append(grow(e.finished), f)
-			switch {
-			case e.global:
-				e.changed = true
-			case !e.unlink(f):
-				e.elided++
-			}
-			continue
+		e.retireEvent(ev)
+	}
+	if !done {
+		return
+	}
+compact:
+	// Compact the done entries out of the active slices: eagerly in
+	// global mode (every re-solve hands e.active to the allocator),
+	// lazily — amortized O(1) per completion — in component mode,
+	// where nothing reads the slice between compactions.
+	if e.global || 2*e.nDone >= len(e.active) {
+		e.compactActive()
+	}
+	if e.global || 2*e.nDoneG >= len(e.activeGroups) {
+		e.compactActiveGroups()
+	}
+	// A drained-empty network has no stale rates to fix; un-latch
+	// changed so the next isolated arrival keeps the fast path.
+	if e.liveActive() == 0 {
+		e.changed = false
+	}
+}
+
+// completeParallel pops the instant's due events per shard
+// concurrently when enough shards are due — the gather — then merge-
+// sorts them into the canonical (time, id) order and retires them
+// serially, exactly the sequence the serial pop loop produces. The
+// due set at time t is fixed (retirement never changes another
+// pending event's time), so gathering first is equivalent. handled is
+// false when too few shards are due to repay the dispatch; retired
+// reports whether anything was due at all.
+func (e *Engine) completeParallel(t, slack float64) (retired, handled bool) {
+	due := e.dueShards[:0]
+	for s := range e.heaps {
+		h := &e.heaps[s]
+		for e.staleEv[s] > 0 && h.len() > 0 && !e.valid(h.top()) {
+			h.pop()
+			e.staleEv[s]--
 		}
-		g := ev.g
-		e.gs[g.ID].bits &^= evBit
-		g.Finish = ev.t
-		g.Remaining = 0
-		coupled := false
-		for _, m := range g.Members {
-			if m.Done() {
+		if h.len() > 0 && h.top().t <= t+slack {
+			due = append(due, s)
+		}
+	}
+	e.dueShards = due[:0]
+	if len(due) < parallelGatherMinShards {
+		return false, false
+	}
+	workers := e.workers
+	if workers > len(due) {
+		workers = len(due)
+	}
+	runWorkers(workers, len(due), func(_, di int) {
+		s := due[di]
+		buf := e.shardEv[s][:0]
+		h := &e.heaps[s]
+		for h.len() > 0 {
+			ev := h.top()
+			if e.staleEv[s] > 0 && !e.valid(ev) {
+				h.pop()
+				e.staleEv[s]--
 				continue
 			}
-			m.Finish = g.Finish
-			e.finished = append(grow(e.finished), m)
-			if !e.global && e.unlink(m) {
-				coupled = true
+			if ev.t > t+slack {
+				break
 			}
+			buf = append(buf, h.pop())
 		}
-		e.finishedGroups = append(e.finishedGroups, g)
-		delete(e.inActive, g)
+		e.shardEv[s] = buf
+	})
+	// Merge into the canonical retirement order. A k-way merge of the
+	// per-shard (already sorted) runs would do; a sort of the small
+	// gathered set is simpler and off the critical path.
+	merged := e.gatherMerge(due)
+	for _, ev := range merged {
+		e.retireEvent(ev)
+	}
+	return len(merged) > 0, true
+}
+
+// gatherMerge concatenates the due shards' gathered events and sorts
+// them into the canonical heap order, reusing one engine-owned buffer.
+func (e *Engine) gatherMerge(due []int) []event {
+	merged := e.mergedEv[:0]
+	for _, s := range due {
+		merged = append(merged, e.shardEv[s]...)
+		e.shardEv[s] = e.shardEv[s][:0]
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].before(merged[j]) })
+	e.mergedEv = merged
+	return merged
+}
+
+// retireEvent completes one due flow or group event: stamp finishes,
+// move to the finished lists, unlink from the link index, and seed
+// the neighbors the departure uncouples.
+func (e *Engine) retireEvent(ev event) {
+	if ev.f != nil {
+		f := ev.f
+		e.fs[f.ID].bits &^= evBit
+		f.Finish = ev.t
+		f.Remaining = 0
+		e.finished = append(grow(e.finished), f)
+		e.nDone++
 		switch {
 		case e.global:
 			e.changed = true
-		case !coupled:
+		case !e.unlink(f):
 			e.elided++
 		}
+		return
 	}
-	if !done {
+	g := ev.g
+	e.gs[g.ID].bits &^= evBit
+	g.Finish = ev.t
+	g.Remaining = 0
+	coupled := false
+	for _, m := range g.Members {
+		if m.Done() {
+			continue
+		}
+		m.Finish = g.Finish
+		e.finished = append(grow(e.finished), m)
+		e.nDone++
+		if !e.global && e.unlink(m) {
+			coupled = true
+		}
+	}
+	e.finishedGroups = append(e.finishedGroups, g)
+	e.nDoneG++
+	delete(e.inActive, g)
+	switch {
+	case e.global:
+		e.changed = true
+	case !coupled:
+		e.elided++
+	}
+}
+
+// liveActive is the true active flow count: admitted, not yet
+// completed (stale slice entries excluded).
+func (e *Engine) liveActive() int { return len(e.active) - e.nDone }
+
+// compactActive removes completed flows from the active slice,
+// preserving admission order.
+func (e *Engine) compactActive() {
+	if e.nDone == 0 {
 		return
 	}
 	kept := e.active[:0]
@@ -792,6 +1545,14 @@ func (e *Engine) complete(t float64) {
 		e.active[i] = nil
 	}
 	e.active = kept
+	e.nDone = 0
+}
+
+// compactActiveGroups is compactActive for the group slice.
+func (e *Engine) compactActiveGroups() {
+	if e.nDoneG == 0 {
+		return
+	}
 	keptG := e.activeGroups[:0]
 	for _, g := range e.activeGroups {
 		if !g.Done() {
@@ -802,11 +1563,7 @@ func (e *Engine) complete(t float64) {
 		e.activeGroups[i] = nil
 	}
 	e.activeGroups = keptG
-	// A drained-empty network has no stale rates to fix; un-latch
-	// changed so the next isolated arrival keeps the fast path.
-	if len(e.active) == 0 {
-		e.changed = false
-	}
+	e.nDoneG = 0
 }
 
 // Step advances to the next event: admit due arrivals, reallocate the
@@ -823,7 +1580,7 @@ func (e *Engine) Step() bool { return e.step(math.Inf(1)) }
 // event fires.
 func (e *Engine) step(deadline float64) bool {
 	e.admitDue()
-	if len(e.active) == 0 && e.next >= len(e.pending) {
+	if e.liveActive() == 0 && e.next >= len(e.pending) {
 		return false
 	}
 	if e.global {
@@ -833,10 +1590,9 @@ func (e *Engine) step(deadline float64) bool {
 	} else if len(e.touched) > 0 {
 		e.reallocate()
 	}
-	e.pruneStale()
 	tC := math.Inf(1)
-	if e.heap.len() > 0 {
-		tC = e.heap.top().t
+	if ev, _, ok := e.earliest(); ok {
+		tC = ev.t
 	}
 	tA := math.Inf(1)
 	if e.next < len(e.pending) {

@@ -1,0 +1,263 @@
+package leap
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"numfabric/internal/core"
+	"numfabric/internal/fluid"
+	"numfabric/internal/sim"
+)
+
+// denseCaps is the dense property schedule's two-bank link vector.
+func denseCaps() []float64 {
+	return []float64{10e9, 10e9, 25e9, 40e9, 10e9, 10e9, 25e9, 40e9}
+}
+
+// runDense plays one dense random schedule to completion under cfg and
+// returns the engine plus its flows and groups.
+func runDense(cfg Config, seed uint64) (*Engine, []*fluid.Flow, []*fluid.Group) {
+	e := NewEngine(fluid.NewNetwork(denseCaps()), cfg)
+	fs, gs := buildDenseSchedule(e, seed)
+	e.Run(math.Inf(1))
+	return e, fs, gs
+}
+
+// assertSameCompletions fails unless the two runs finished every flow
+// and group at bitwise-equal times.
+func assertSameCompletions(t *testing.T, label string, seed uint64,
+	af []*fluid.Flow, ag []*fluid.Group, bf []*fluid.Flow, bg []*fluid.Group) {
+	t.Helper()
+	for i := range af {
+		if af[i].Finish != bf[i].Finish {
+			t.Fatalf("%s seed %d flow %d: finish %v != %v",
+				label, seed, af[i].ID, af[i].Finish, bf[i].Finish)
+		}
+	}
+	for i := range ag {
+		if ag[i].Finish != bg[i].Finish {
+			t.Fatalf("%s seed %d group %d: finish %v != %v",
+				label, seed, ag[i].ID, ag[i].Finish, bg[i].Finish)
+		}
+	}
+}
+
+// TestParallelMatchesSerial is the multi-core extension of
+// TestComponentLocalMatchesGlobal: the dense random schedules
+// (simultaneous arrivals, colliding completions, finite groups) played
+// through the engine at Workers ∈ {1, 4, GOMAXPROCS} — with both the
+// derived modulo link partition and an explicit one — must produce
+// byte-identical completion times for every flow and group, and the
+// same event count, as the fully serial engine. Components are
+// independent by construction, so any disagreement is a parallelism
+// bug (a race, a cross-component dependency, or a nondeterministic
+// apply), not float noise.
+func TestParallelMatchesSerial(t *testing.T) {
+	workerSet := []int{1, 4, runtime.GOMAXPROCS(0)}
+	// An explicit locality partition: the two link banks.
+	shards := []int{0, 0, 0, 0, 1, 1, 1, 1}
+	for seed := uint64(1); seed <= 6; seed++ {
+		serial, sf, sg := runDense(Config{}, seed)
+		for _, w := range workerSet {
+			for _, ls := range [][]int{nil, shards} {
+				par, pf, pg := runDense(Config{Workers: w, LinkShards: ls}, seed)
+				assertSameCompletions(t, "parallel-vs-serial", seed, sf, sg, pf, pg)
+				if par.Events() != serial.Events() {
+					t.Errorf("seed %d workers %d: events %d vs serial %d",
+						seed, w, par.Events(), serial.Events())
+				}
+				ps, ss := par.Stats(), serial.Stats()
+				if ps.Allocs != ss.Allocs || ps.SolvedFlows != ss.SolvedFlows ||
+					ps.Batches != ss.Batches || ps.BatchComponents != ss.BatchComponents {
+					t.Errorf("seed %d workers %d: work stats diverge: %+v vs %+v",
+						seed, w, ps, ss)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelMatchesSerialXWI pins the stateful-allocator parallel
+// path: XWI workers share one per-link price vector, and because
+// distinct components are link-disjoint, their concurrent subset
+// solves must commute — the Workers: 4 run's completions must equal
+// the Workers: 1 run's bitwise, warm price state included (any cross-
+// worker interference would show up as a diverging completion time on
+// a later event).
+func TestParallelMatchesSerialXWI(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		mk := func(workers int) Config {
+			return Config{
+				Allocator: &fluid.XWI{IterPerEpoch: 24, Tol: 1e-3},
+				Workers:   workers,
+			}
+		}
+		_, sf, sg := runDense(mk(1), seed)
+		_, pf, pg := runDense(mk(4), seed)
+		assertSameCompletions(t, "xwi", seed, sf, sg, pf, pg)
+	}
+}
+
+// TestParallelMatchesSerialOracle does the same for the Oracle's
+// shared-dual gather/scatter worker path.
+func TestParallelMatchesSerialOracle(t *testing.T) {
+	mk := func(workers int) Config {
+		return Config{Allocator: fluid.NewOracle(), Workers: workers}
+	}
+	_, sf, sg := runDense(mk(1), 2)
+	_, pf, pg := runDense(mk(4), 2)
+	assertSameCompletions(t, "oracle", 2, sf, sg, pf, pg)
+}
+
+// TestSweepThresholdEquivalence: the lazy-heap bulk-sweep threshold is
+// a pure performance knob — an engine sweeping at every opportunity
+// (threshold 1) and one that effectively never sweeps (a huge
+// threshold) must produce identical completions on the dense schedule.
+func TestSweepThresholdEquivalence(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		_, af, ag := runDense(Config{SweepThreshold: 1}, seed)
+		_, bf, bg := runDense(Config{SweepThreshold: 1 << 30}, seed)
+		assertSameCompletions(t, "sweep-threshold", seed, af, ag, bf, bg)
+	}
+}
+
+// TestBatchStats: synchronized arrivals on disjoint links form one
+// batch of several disjoint components, and the engine's batch
+// telemetry records it — including the parallel-solve counters when a
+// worker pool is configured.
+func TestBatchStats(t *testing.T) {
+	caps := []float64{10e9, 10e9, 10e9, 10e9}
+	build := func(e *Engine) {
+		// Four coupled 20-flow bundles at one instant, each on its own
+		// link: one batch, four disjoint components — enough solvable
+		// flows to clear the engine's inline-solve gate.
+		for l := 0; l < 4; l++ {
+			for i := 0; i < 20; i++ {
+				e.AddFlow([]int{l}, core.ProportionalFair(), int64(1+i)<<20, 1e-3)
+			}
+		}
+	}
+	e := NewEngine(fluid.NewNetwork(caps), Config{Workers: 4})
+	build(e)
+	e.Run(math.Inf(1))
+	s := e.Stats()
+	if s.Batches == 0 || s.BatchComponents < s.Batches {
+		t.Fatalf("batch telemetry not populated: %+v", s)
+	}
+	if s.MaxBatchComponents != 4 {
+		t.Errorf("MaxBatchComponents = %d, want 4", s.MaxBatchComponents)
+	}
+	// The arrival batch's four components solve on the pool, and so do
+	// the synchronized completion batches that follow (the four links
+	// carry identical size ladders, so completions collide too).
+	if s.ParallelSolves < 4 {
+		t.Errorf("ParallelSolves = %d, want ≥ 4 (the wide arrival batch alone has 4)", s.ParallelSolves)
+	}
+	if s.MaxConcurrentComponents != 4 {
+		t.Errorf("MaxConcurrentComponents = %d, want 4", s.MaxConcurrentComponents)
+	}
+
+	// The serial engine sees the same batch shape but reports no
+	// parallel solves.
+	se := NewEngine(fluid.NewNetwork(caps), Config{})
+	build(se)
+	se.Run(math.Inf(1))
+	ss := se.Stats()
+	if ss.ParallelSolves != 0 || ss.MaxConcurrentComponents != 0 {
+		t.Errorf("serial engine reported parallel work: %+v", ss)
+	}
+	if ss.MaxBatchComponents != 4 || ss.Allocs != s.Allocs {
+		t.Errorf("serial batch shape diverges: %+v vs %+v", ss, s)
+	}
+}
+
+// buildPodBursts adds a synchronized pod-local burst schedule to an
+// engine on a k=4 fat-tree: at each grid instant every pod receives a
+// fan-in burst among its own hosts (plus a finite intra-pod group per
+// instant), so a batch's seeds clear the parallel-flood gate, the
+// components are pod-pure, and equal-size bursts complete in shared
+// instants that clear the parallel-gather gate. withInterPod mixes in
+// cross-pod flows whose paths span two shards — the impurity that must
+// drive the flood back to its serial fallback without corrupting
+// anything.
+func buildPodBursts(e *Engine, ft *fluid.FatTree, withInterPod bool, seed uint64) []*fluid.Flow {
+	rng := sim.NewRNG(seed)
+	perPod := ft.Hosts() / ft.K
+	var fs []*fluid.Flow
+	for q := 0; q < 12; q++ {
+		at := float64(q) * 500e-6
+		for p := 0; p < ft.K; p++ {
+			base := p * perPod
+			dst := base + rng.Intn(perPod)
+			size := int64(1+rng.Intn(4)) * (256 << 10)
+			for i := 0; i < 8; i++ {
+				src := base + rng.Intn(perPod-1)
+				if src >= dst {
+					src++
+				}
+				path := ft.Route(src, dst, rng.Intn(4))
+				fs = append(fs, e.AddFlow(path, core.ProportionalFair(), size, at))
+			}
+			if q%3 == 0 {
+				a, b := base, base+1
+				e.AddGroup([][]int{ft.Route(a, b, 0), ft.Route(a, b, 1)},
+					core.ProportionalFair(), 512<<10, at)
+			}
+		}
+		if withInterPod {
+			src := rng.Intn(perPod)
+			dst := perPod + rng.Intn(perPod)
+			path := ft.Route(src, dst, rng.Intn(4))
+			fs = append(fs, e.AddFlow(path, core.ProportionalFair(), 1<<20, at))
+		}
+	}
+	return fs
+}
+
+// TestParallelFloodMatchesSerial: the pod-local burst workload — wide
+// enough to engage the sharded parallel flood and the parallel
+// completion gather — finishes byte-identically at Workers 1 and 4,
+// with and without inter-pod impurities forcing the serial-flood
+// fallback mid-run.
+func TestParallelFloodMatchesSerial(t *testing.T) {
+	for _, interPod := range []bool{false, true} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			run := func(workers int) (*Engine, []*fluid.Flow) {
+				ft := fluid.NewFatTree(4, 10e9)
+				e := NewEngine(ft.Net, Config{Workers: workers, LinkShards: ft.LinkShards()})
+				fs := buildPodBursts(e, ft, interPod, seed)
+				e.Run(math.Inf(1))
+				return e, fs
+			}
+			se, sf := run(1)
+			pe, pf := run(4)
+			for i := range sf {
+				if sf[i].Finish != pf[i].Finish {
+					t.Fatalf("interPod=%v seed %d flow %d: parallel finish %v != serial %v",
+						interPod, seed, sf[i].ID, pf[i].Finish, sf[i].Finish)
+				}
+			}
+			ss, ps := se.Stats(), pe.Stats()
+			if ss.Events != ps.Events || ss.Allocs != ps.Allocs ||
+				ss.SolvedFlows != ps.SolvedFlows || ss.BatchComponents != ps.BatchComponents {
+				t.Errorf("interPod=%v seed %d: work stats diverge: %+v vs %+v",
+					interPod, seed, ss, ps)
+			}
+			if !interPod && ps.ParallelSolves == 0 {
+				t.Errorf("seed %d: pod bursts never reached the worker pool: %+v", seed, ps)
+			}
+		}
+	}
+}
+
+// TestLinkShardsValidation: a partition that does not cover the links
+// is a programmer error and panics.
+func TestLinkShardsValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short LinkShards did not panic")
+		}
+	}()
+	NewEngine(fluid.NewNetwork([]float64{1, 1}), Config{LinkShards: []int{0}})
+}

@@ -231,6 +231,110 @@ func Incast(cfg IncastConfig, rng *sim.RNG) []Arrival {
 	return out
 }
 
+// CoflowConfig parameterizes a synchronized coflow workload: grid
+// instants at which several fan-in bursts arrive at once, each burst
+// being Senders equal-size flows (partition/aggregate applications
+// fan a request out and every worker answers together — the §6.1
+// incast pattern, replicated across many receivers and repeated at a
+// controlled load).
+type CoflowConfig struct {
+	Hosts    int
+	HostLink sim.BitRate
+	// Load is the target average utilization of the aggregate host
+	// bandwidth, as in PoissonConfig: the grid spacing is derived so
+	// the injected bytes hit it in expectation.
+	Load float64
+	// CDF draws each burst's per-flow size, rounded up to a power of
+	// two: coarse size classes make concurrent bursts collide on size,
+	// so bursts that share a size (and each drain at the receiver's
+	// fair share) complete in the same instant — the completion-side
+	// synchronization that makes the workload batch end to end.
+	CDF *SizeCDF
+	// Senders is the fan-in per burst (flows per coflow), capped at
+	// its locality block's size minus one.
+	Senders int
+	// Bursts is how many coflows share each grid instant, each in its
+	// own locality block (distinct within an instant when Groups ≥
+	// Bursts).
+	Bursts int
+	// Groups partitions the hosts into equal contiguous locality
+	// blocks (a k-ary fat-tree's pods are blocks of k²/4 consecutive
+	// hosts, so Groups = k matches them). Each burst confines its
+	// receiver and senders to one block, which keeps concurrent bursts
+	// in distinct blocks link-disjoint end to end — the disjoint
+	// components a parallel solver feeds on. ≤ 1 spans the fabric.
+	Groups int
+	// MaxFlows caps the total arrivals.
+	MaxFlows int
+}
+
+// pow2Ceil rounds v up to the next power of two.
+func pow2Ceil(v int64) int64 {
+	p := int64(1)
+	for p < v {
+		p <<= 1
+	}
+	return p
+}
+
+// Coflows generates the synchronized coflow schedule: instant k holds
+// Bursts × Senders arrivals at exactly k × Δ (Δ derived from Load),
+// grouped into Bursts coflows of one power-of-two size each, every
+// coflow fanning distinct random senders into its own receiver.
+func Coflows(cfg CoflowConfig, rng *sim.RNG) []Arrival {
+	groups := cfg.Groups
+	if groups <= 1 || groups > cfg.Hosts {
+		groups = 1
+	}
+	block := cfg.Hosts / groups
+	n := cfg.Senders
+	if max := block - 1; n > max {
+		n = max
+	}
+	if n <= 0 || cfg.Bursts <= 0 || cfg.MaxFlows <= 0 {
+		return nil
+	}
+	// Mean burst-flow size under power-of-two rounding, by numerical
+	// integration (as SizeCDF.Mean, post-rounding).
+	const steps = 10000
+	mean := 0.0
+	for i := 0; i < steps; i++ {
+		u := (float64(i) + 0.5) / steps
+		mean += float64(pow2Ceil(cfg.CDF.Sample(u)))
+	}
+	mean /= steps
+	aggregate := cfg.Load * float64(cfg.Hosts) * cfg.HostLink.Float()
+	if !(aggregate > 0) {
+		return nil
+	}
+	// Bytes per instant / aggregate bit rate = grid spacing.
+	delta := sim.Seconds(float64(cfg.Bursts*n) * mean * 8 / aggregate)
+	if delta <= 0 {
+		return nil
+	}
+	out := make([]Arrival, 0, cfg.MaxFlows)
+	for k := 0; ; k++ {
+		at := sim.Time(0).Add(sim.Duration(k) * sim.Duration(delta))
+		gperm := rng.Perm(groups)
+		for b := 0; b < cfg.Bursts; b++ {
+			base := gperm[b%groups] * block
+			dst := base + rng.Intn(block)
+			size := pow2Ceil(cfg.CDF.Sample(rng.Float64()))
+			perm := rng.Perm(block - 1)
+			for i := 0; i < n; i++ {
+				src := base + perm[i]
+				if src >= dst {
+					src++
+				}
+				out = append(out, Arrival{At: at, Src: src, Dst: dst, Size: size})
+				if len(out) >= cfg.MaxFlows {
+					return out
+				}
+			}
+		}
+	}
+}
+
 // RandomPairs returns n random (src, dst) pairs with src ≠ dst, the
 // path population for the semi-dynamic scenario ("we randomly pair
 // 1000 senders and receivers among the 128 servers").

@@ -53,6 +53,7 @@ import (
 	"time"
 
 	"numfabric/internal/core"
+	"numfabric/internal/fluid"
 	"numfabric/internal/harness"
 	"numfabric/internal/leap"
 	"numfabric/internal/netsim"
@@ -336,10 +337,19 @@ func RunDynamicLeap(cfg DynamicConfig) DynamicResult {
 }
 
 // LeapStats is the leap engine's work telemetry — events, allocator
-// solves, flows per solve, touched-component sizes, and the
-// global-re-solve counterfactual — surfaced on DynamicResult and
-// IncastResult for leap runs.
+// solves, flows per solve, touched-component sizes, event-batch widths
+// and parallel-solve counts, and the global-re-solve counterfactual —
+// surfaced on DynamicResult and IncastResult for leap runs.
+// DynamicConfig.Workers (or cmd/numfabric's -workers flag) bounds the
+// engine's concurrent solves of a batch's disjoint components; FCTs
+// are byte-identical for any worker count.
 type LeapStats = leap.Stats
+
+// FluidStats is the fluid epoch engine's work telemetry — epochs,
+// allocator solves, and the stationary-allocator skip that reuses
+// cached rates across unchanged epochs — surfaced on DynamicResult
+// for fluid runs.
+type FluidStats = fluid.Stats
 
 // IncastConfig configures the incast burst scenario: N synchronized
 // senders converging on one receiver (§6.1-style bursts).
