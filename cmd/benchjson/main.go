@@ -14,7 +14,14 @@
 // Usage:
 //
 //	go run ./cmd/benchjson [-out BENCH_leap.json] [-flows 200000]
-//	    [-load 0.1] [-workers 1,2,4,0] [-seed 1]
+//	    [-load 0.1] [-workers 1,2,4,0] [-seed 1] [-rev <git describe>]
+//	    [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// Each run also carries a per-phase wall-time breakdown of the event
+// loop (obs.PhaseProfiler: admit/flood/solve/resplice/complete/drain)
+// plus its coverage of the measured wall time, and the report records
+// the host context (num_cpu, go_version, optional -rev) so two
+// BENCH_leap.json files are comparable at a glance.
 //
 // A workers value of 0 means one worker per core (GOMAXPROCS);
 // duplicate resolved counts are dropped. CI runs this (at reduced
@@ -28,6 +35,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -36,6 +44,7 @@ import (
 	"numfabric/internal/fluid"
 	"numfabric/internal/harness"
 	"numfabric/internal/leap"
+	"numfabric/internal/obs"
 	"numfabric/internal/sim"
 	"numfabric/internal/stats"
 )
@@ -56,19 +65,32 @@ type Run struct {
 	MaxComponent     int     `json:"max_component"`
 	FinishedFlows    int     `json:"finished_flows"`
 	MedianNormFCTX64 float64 `json:"median_norm_fct"`
+	// Phases breaks the run's in-Run wall time down by event-loop phase
+	// (obs.PhaseProfiler laps, nanoseconds; zero phases omitted), and
+	// PhaseCoverage is their sum over the measured wall time — the laps
+	// tile the loop, so this sits near 1.0 and vouches for the
+	// breakdown's completeness.
+	Phases        map[string]int64 `json:"phase_nanos"`
+	PhaseCoverage float64          `json:"phase_coverage"`
 }
 
 // Report is the BENCH_leap.json schema.
 type Report struct {
-	Bench      string  `json:"bench"`
-	Generated  string  `json:"generated_by"`
-	GoMaxProcs int     `json:"gomaxprocs"`
-	Flows      int     `json:"flows"`
-	Load       float64 `json:"load"`
-	Senders    int     `json:"senders"`
-	Bursts     int     `json:"bursts"`
-	Seed       uint64  `json:"seed"`
-	Runs       []Run   `json:"runs"`
+	Bench      string `json:"bench"`
+	Generated  string `json:"generated_by"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// NumCPU and GoVersion pin the host context a run came from, so
+	// two BENCH_leap.json files are comparable at a glance; Rev is the
+	// optional source revision passed via -rev.
+	NumCPU    int     `json:"num_cpu"`
+	GoVersion string  `json:"go_version"`
+	Rev       string  `json:"rev,omitempty"`
+	Flows     int     `json:"flows"`
+	Load      float64 `json:"load"`
+	Senders   int     `json:"senders"`
+	Bursts    int     `json:"bursts"`
+	Seed      uint64  `json:"seed"`
+	Runs      []Run   `json:"runs"`
 }
 
 func main() {
@@ -77,7 +99,44 @@ func main() {
 	load := flag.Float64("load", 0.10, "target load")
 	workersList := flag.String("workers", "1,2,4,0", "comma-separated worker counts (0 = one per core)")
 	seed := flag.Uint64("seed", 1, "workload seed")
+	rev := flag.String("rev", "", "source revision to record in the report (e.g. git describe)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of all runs to this file")
+	memprofile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("wrote %s\n", *cpuprofile)
+		}()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson:", err)
+				return
+			}
+			fmt.Printf("wrote %s\n", path)
+		}()
+	}
 
 	const (
 		k        = 8
@@ -107,6 +166,9 @@ func main() {
 		Bench:      "leap-parallel-coflows",
 		Generated:  "go run ./cmd/benchjson",
 		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		GoVersion:  runtime.Version(),
+		Rev:        *rev,
 		Flows:      len(arrivals),
 		Load:       *load,
 		Senders:    senders,
@@ -114,10 +176,14 @@ func main() {
 		Seed:       *seed,
 	}
 	for _, w := range counts {
+		// A fresh profiler per run keeps each breakdown scoped to its
+		// own worker count.
+		prof := obs.NewPhaseProfiler()
 		eng := leap.NewEngine(ft.Net, leap.Config{
 			Allocator:  fluid.NewWaterFill(),
 			Workers:    w,
 			LinkShards: ft.LinkShards(),
+			Obs:        obs.Hooks{Profiler: prof},
 		})
 		engFlows := make([]*fluid.Flow, len(arrivals))
 		for i, a := range arrivals {
@@ -136,6 +202,7 @@ func main() {
 			}
 		}
 		s := eng.Stats()
+		nanos := prof.Nanos()
 		rep.Runs = append(rep.Runs, Run{
 			Workers:          w,
 			WallSeconds:      el,
@@ -147,6 +214,8 @@ func main() {
 			MaxComponent:     s.MaxComponent,
 			FinishedFlows:    finished,
 			MedianNormFCTX64: stats.Median(norm),
+			Phases:           obs.PhaseMap(nanos),
+			PhaseCoverage:    float64(prof.TotalNanos()) / (el * 1e9),
 		})
 	}
 	// Speedups are computed once every run is in: the baseline is the

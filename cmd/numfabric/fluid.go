@@ -36,6 +36,7 @@ func runFatTree(full bool, seed uint64) {
 	cfg := harness.DefaultConfig(harness.NUMFabric, harness.ScaledTopology())
 	eng := fluid.NewEngine(ft.Net, fluid.Config{
 		Allocator: harness.FluidAllocatorFor(cfg),
+		Obs:       cliObs,
 	})
 	flows := make([]*fluid.Flow, len(arrivals))
 	var last sim.Time

@@ -9,6 +9,7 @@ import (
 	"numfabric/internal/fluid"
 	"numfabric/internal/harness"
 	"numfabric/internal/leap"
+	"numfabric/internal/obs"
 	"numfabric/internal/sim"
 	"numfabric/internal/stats"
 	"numfabric/internal/trace"
@@ -36,17 +37,25 @@ func runLeapFCT(full bool, seed uint64) {
 	nworkers := harness.LeapWorkers(workers)
 	fmt.Printf("leap-engine FCT sweep: k=%d fat-tree (%d hosts), websearch, %d flows per load, %d workers\n",
 		k, ft.Hosts(), nflows, nworkers)
-	fmt.Printf("%-6s %10s %10s %10s %12s %10s %9s %8s %8s %9s %8s %10s\n",
-		"load", "medNorm", "p95Norm", "flows/s", "events", "allocs", "avgComp", "maxComp", "workX", "batchW", "parSlv", "wall")
+	fmt.Printf("%-6s %10s %10s %10s %12s %10s %9s %8s %8s %9s %8s %7s %7s %7s %10s\n",
+		"load", "medNorm", "p95Norm", "flows/s", "events", "allocs", "avgComp", "maxComp", "workX",
+		"batchW", "parSlv", "flood%", "solve%", "compl%", "wall")
 	tab := trace.NewTable("load", "median_norm_fct", "p95_norm_fct", "flows_per_s",
 		"events", "allocs", "solved_flows", "max_component", "elided", "full_solve_flows",
-		"workers", "batches", "parallel_solves")
+		"workers", "batches", "parallel_solves",
+		"admit_ns", "flood_ns", "solve_ns", "resplice_ns", "complete_ns", "drain_ns", "loop_ns")
 	for _, load := range loads {
 		arrivals, paths := harness.FatTreeWebSearch(ft, load, nflows, sim.NewRNG(seed))
+		// Each load gets a fresh phase profiler (so its breakdown covers
+		// exactly that run) on top of whatever -debug-addr/-trace-out
+		// hooks are shared across the sweep.
+		hooks := cliObs
+		hooks.Profiler = obs.NewPhaseProfiler()
 		eng := leap.NewEngine(ft.Net, leap.Config{
 			Allocator:  harness.LeapAllocatorFor(cfg),
 			Workers:    nworkers,
 			LinkShards: ft.LinkShards(),
+			Obs:        hooks,
 		})
 		for i, a := range arrivals {
 			eng.AddFlow(paths[i], core.FCTMin(a.Size, 0.125), a.Size, a.At.Seconds())
@@ -71,12 +80,22 @@ func runLeapFCT(full bool, seed uint64) {
 		avgComp := float64(s.SolvedFlows) / math.Max(float64(s.Allocs), 1)
 		workX := float64(s.FullSolveFlows) / math.Max(float64(s.SolvedFlows), 1)
 		batchW := float64(s.BatchComponents) / math.Max(float64(s.Batches), 1)
-		fmt.Printf("%-6.2f %10.2f %10.2f %10.0f %12d %10d %9.1f %8d %8.1f %9.2f %8d %10v\n",
+		// Phase shares: where the event loop's wall time went, as a
+		// fraction of the profiled total (the laps tile Run, so the
+		// shares account for essentially all of it).
+		ph := s.PhaseNanos
+		total := math.Max(float64(hooks.Profiler.TotalNanos()), 1)
+		pct := func(p obs.Phase) float64 { return 100 * float64(ph[p]) / total }
+		fmt.Printf("%-6.2f %10.2f %10.2f %10.0f %12d %10d %9.1f %8d %8.1f %9.2f %8d %6.1f%% %6.1f%% %6.1f%% %10v\n",
 			load, med, p95, rate, s.Events, s.Allocs, avgComp, s.MaxComponent, workX,
-			batchW, s.ParallelSolves, elapsed.Round(time.Millisecond))
+			batchW, s.ParallelSolves, pct(obs.PhaseFlood), pct(obs.PhaseSolve), pct(obs.PhaseComplete),
+			elapsed.Round(time.Millisecond))
 		_ = tab.Append(load, med, p95, rate, float64(s.Events), float64(s.Allocs),
 			float64(s.SolvedFlows), float64(s.MaxComponent), float64(s.Elided), float64(s.FullSolveFlows),
-			float64(nworkers), float64(s.Batches), float64(s.ParallelSolves))
+			float64(nworkers), float64(s.Batches), float64(s.ParallelSolves),
+			float64(ph[obs.PhaseAdmit]), float64(ph[obs.PhaseFlood]), float64(ph[obs.PhaseSolve]),
+			float64(ph[obs.PhaseResplice]), float64(ph[obs.PhaseComplete]), float64(ph[obs.PhaseDrain]),
+			float64(ph[obs.PhaseLoop]))
 	}
 	writeCSV("leapfct.csv", tab)
 }

@@ -36,10 +36,14 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"sort"
+	"time"
 
 	"numfabric/internal/core"
 	"numfabric/internal/harness"
+	"numfabric/internal/obs"
 	"numfabric/internal/oracle"
 	"numfabric/internal/sim"
 	"numfabric/internal/trace"
@@ -56,6 +60,13 @@ var engine harness.Engine
 // workers is the leap engine's component-solve parallelism selected
 // via -workers (0 = one worker per core).
 var workers int
+
+// cliObs holds the observability hooks built from -debug-addr and
+// -trace-out; experiments hand it to every engine they build. With
+// neither flag set every hook is nil and the engines skip all
+// instrumentation. Profilers stay per-run (runLeapFCT attaches a fresh
+// one per load), so cliObs never carries one.
+var cliObs obs.Hooks
 
 // writeCSV writes a table into outDir (no-op when -out is unset).
 func writeCSV(name string, t *trace.Table) {
@@ -83,6 +94,11 @@ func main() {
 	out := flag.String("out", "", "directory for CSV output (optional)")
 	eng := flag.String("engine", "packet", "\"packet\" (discrete-event simulator), \"fluid\" (flow-level fast path), or \"leap\" (event-driven fast path) for fig4a/fig5a/fig5b/fig7/fig8")
 	w := flag.Int("workers", 0, "goroutines for the leap engine's parallel component solves (0 = one per core, 1 = serial; FCTs are identical either way)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /progress, /debug/pprof and /debug/vars on this address while experiments run (e.g. localhost:6060)")
+	debugHold := flag.Duration("debug-hold", 0, "keep the -debug-addr server alive this long after the experiments finish")
+	traceOut := flag.String("trace-out", "", "write a Chrome-trace (chrome://tracing / Perfetto) timeline of engine batches and per-worker component solves to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memprofile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	flag.Parse()
 	outDir = *out
 	workers = *w
@@ -95,6 +111,77 @@ func main() {
 		if err := os.MkdirAll(outDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
+		}
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Printf("wrote %s\n", *cpuprofile)
+		}()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			fmt.Printf("wrote %s\n", path)
+		}()
+	}
+
+	// The debug server and trace writer share one hook set: the server
+	// needs live metrics/progress, the trace file needs the span
+	// recorder, and an engine fed both costs nothing extra.
+	if *debugAddr != "" || *traceOut != "" {
+		reg := obs.NewRegistry()
+		cliObs.Progress = &obs.Progress{}
+		cliObs.Metrics = obs.NewEngineMetrics(reg, "engine")
+		if *traceOut != "" {
+			cliObs.Tracer = obs.NewTracer()
+		}
+		if *debugAddr != "" {
+			ln, err := obs.Serve(*debugAddr, reg, cliObs.Progress)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer ln.Close()
+			fmt.Printf("debug server on http://%s (/metrics, /progress, /debug/pprof)\n", ln.Addr())
+			if *debugHold > 0 {
+				defer func() {
+					fmt.Printf("holding debug server for %v\n", *debugHold)
+					time.Sleep(*debugHold)
+				}()
+			}
+		}
+		if *traceOut != "" {
+			path := *traceOut
+			defer func() {
+				if err := cliObs.Tracer.WriteFile(path); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return
+				}
+				fmt.Printf("wrote %s (%d spans)\n", path, cliObs.Tracer.TotalSpans())
+			}()
 		}
 	}
 
@@ -269,6 +356,7 @@ func runFig5(full bool, seed uint64, cdf *workload.SizeCDF) {
 		cfg.Flows = flows
 		cfg.Seed = seed
 		cfg.Workers = workers
+		cfg.Obs = cliObs
 		if full {
 			cfg.Topo = harness.PaperTopology()
 			cfg.Scheme = harness.DefaultConfig(s, cfg.Topo)
@@ -324,6 +412,7 @@ func runFig7(full bool, seed uint64) {
 	cfg := harness.DefaultFCT()
 	cfg.Seed = seed
 	cfg.Workers = workers
+	cfg.Obs = cliObs
 	if full {
 		cfg.Topo = harness.PaperTopology()
 		cfg.FlowsPerLoad = 2000

@@ -1,0 +1,140 @@
+// Command tracecheck validates a Chrome-trace timeline written by
+// -trace-out (obs.Tracer.WriteFile): it checks the JSON parses, the
+// events carry the fields chrome://tracing and Perfetto require, and
+// the spans the leap engine is supposed to emit — per-worker component
+// "solve" spans and per-batch "batch" spans — are actually present.
+// CI runs it against the smoke run's trace so a schema regression
+// fails the build instead of silently producing a file the viewers
+// reject.
+//
+// Usage:
+//
+//	go run ./cmd/tracecheck [-metrics metrics.json] trace.json
+//
+// -metrics additionally validates a registry snapshot (the /metrics
+// endpoint's body): it must parse and contain at least one counter.
+// Exit status is 0 when every check passes, 1 otherwise.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// traceEvent mirrors the Chrome trace event fields tracecheck cares
+// about; unknown fields are ignored.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   *float64       `json:"ts"`
+	Dur  *float64       `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+type traceFile struct {
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+	TraceEvents     []traceEvent `json:"traceEvents"`
+}
+
+// metricsFile mirrors obs.Snapshot (the /metrics endpoint's body).
+type metricsFile struct {
+	Counters   map[string]int64   `json:"counters"`
+	Gauges     map[string]float64 `json:"gauges"`
+	Histograms map[string]any     `json:"histograms"`
+}
+
+func main() {
+	metrics := flag.String("metrics", "", "also validate a /metrics registry snapshot at this path")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-metrics metrics.json] trace.json")
+		os.Exit(2)
+	}
+
+	failed := false
+	fail := func(format string, a ...any) {
+		failed = true
+		fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", a...)
+	}
+
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+	var tf traceFile
+	if err := json.Unmarshal(data, &tf); err != nil {
+		fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+		os.Exit(1)
+	}
+
+	if len(tf.TraceEvents) == 0 {
+		fail("%s: no trace events", path)
+	}
+	spans := map[string]int{}
+	threadNames := 0
+	for i, ev := range tf.TraceEvents {
+		if ev.Name == "" {
+			fail("event %d: missing name", i)
+		}
+		switch ev.Ph {
+		case "X":
+			// Complete events need a timestamp and duration for the
+			// viewers to place them on a track.
+			if ev.Ts == nil || *ev.Ts < 0 {
+				fail("event %d (%s): complete event without valid ts", i, ev.Name)
+			}
+			if ev.Dur == nil || *ev.Dur < 0 {
+				fail("event %d (%s): complete event without valid dur", i, ev.Name)
+			}
+			spans[ev.Name]++
+		case "M":
+			if ev.Name == "thread_name" {
+				threadNames++
+			}
+		case "":
+			fail("event %d (%s): missing ph", i, ev.Name)
+		}
+	}
+	if spans["solve"] == 0 {
+		fail("%s: no component \"solve\" spans", path)
+	}
+	if spans["batch"] == 0 {
+		fail("%s: no reallocation \"batch\" spans", path)
+	}
+	if threadNames == 0 {
+		fail("%s: no thread_name metadata (tracks would be unlabeled)", path)
+	}
+	if !failed {
+		fmt.Printf("%s: %d events, %d solve spans, %d batch spans, %d named tracks\n",
+			path, len(tf.TraceEvents), spans["solve"], spans["batch"], threadNames)
+	}
+
+	if *metrics != "" {
+		mdata, err := os.ReadFile(*metrics)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracecheck:", err)
+			os.Exit(1)
+		}
+		var mf metricsFile
+		if err := json.Unmarshal(mdata, &mf); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", *metrics, err)
+			os.Exit(1)
+		}
+		if len(mf.Counters) == 0 {
+			fail("%s: metrics snapshot has no counters", *metrics)
+		} else if !failed {
+			fmt.Printf("%s: %d counters, %d gauges, %d histograms\n",
+				*metrics, len(mf.Counters), len(mf.Gauges), len(mf.Histograms))
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}

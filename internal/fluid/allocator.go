@@ -39,6 +39,38 @@ type SubsetAllocator interface {
 	AllocateSubset(net *Network, flows []*Flow, rates []float64)
 }
 
+// IterCounter is implemented by allocators that count their internal
+// solver iterations — price updates (XWI), gradient steps (DGD),
+// solver iterations (Oracle), water-fill rounds (WaterFill). The
+// counter is shared across Worker views, so it totals a parallel
+// run's allocator work; it accumulates across Reset (which clears
+// prices, not telemetry).
+type IterCounter interface {
+	SolveIters() int64
+}
+
+// iterCount is the shared iteration tally embedded in each allocator.
+// Like scratch.stamps it is a pointer so Worker views accumulate into
+// their parent's total; it is created lazily on the single-threaded
+// paths (Prime, Worker, the parent's own allocate) before any
+// concurrency starts.
+type iterCount struct {
+	n *atomic.Int64
+}
+
+func (c *iterCount) ensure() *atomic.Int64 {
+	if c.n == nil {
+		c.n = new(atomic.Int64)
+	}
+	return c.n
+}
+
+func (c *iterCount) add(d int64) { c.ensure().Add(d) }
+
+// SolveIters returns the iterations accumulated so far (shared across
+// Worker views).
+func (c *iterCount) SolveIters() int64 { return c.ensure().Load() }
+
 // scratch holds the per-call path/weight/group views shared by
 // allocators.
 type scratch struct {
@@ -156,6 +188,7 @@ func groupTotals(groups []*Group, flows []*Flow, x []float64) {
 // so the allocation stays a pure function of the active flow set and
 // the allocator remains stationary.
 type WaterFill struct {
+	iterCount
 	s  scratch
 	ws oracle.MaxMinWorkspace
 }
@@ -181,6 +214,7 @@ func (w *WaterFill) Allocate(net *Network, flows []*Flow, rates []float64) {
 	groups := w.s.collectGroups(flows)
 	if len(groups) == 0 {
 		w.ws.WeightedMaxMin(net.Capacity, w.s.paths, w.s.weights, rates)
+		w.add(1)
 		return
 	}
 	for _, f := range flows {
@@ -203,6 +237,7 @@ func (w *WaterFill) Allocate(net *Network, flows []*Flow, rates []float64) {
 		w.ws.WeightedMaxMin(net.Capacity, w.s.paths, w.s.weights, rates)
 		groupTotals(groups, flows, rates)
 	}
+	w.add(waterfillShareRounds)
 }
 
 // AllocateSubset computes the weighted max-min allocation for a
@@ -260,6 +295,7 @@ type XWI struct {
 	// engine's one-iteration-per-epoch dynamics rely on.
 	Tol float64
 
+	iterCount
 	price []float64
 	s     scratch
 	ws    oracle.MaxMinWorkspace
@@ -349,7 +385,9 @@ func (a *XWI) allocate(net *Network, flows []*Flow, rates []float64, subset bool
 		}
 	}
 	var x []float64
+	done := 0
 	for it := 0; it < iters; it++ {
+		done = it + 1
 		for i, f := range flows {
 			w := f.U.InverseMarginal(pathPrice(i))
 			if f.Group != nil {
@@ -421,6 +459,7 @@ func (a *XWI) allocate(net *Network, flows []*Flow, rates []float64, subset bool
 			}
 		}
 	}
+	a.add(int64(done))
 	copy(rates, x)
 }
 
@@ -436,6 +475,7 @@ type Oracle struct {
 	// keep the realized count far lower).
 	MaxIter int
 
+	iterCount
 	prices []float64
 	s      scratch
 }
@@ -475,7 +515,9 @@ func (o *Oracle) AllocateSubset(net *Network, flows []*Flow, rates []float64) {
 }
 
 func (o *Oracle) solve(net *Network, flows []*Flow) oracle.Result {
-	return oracleSolve(net, flows, &o.s, o.MaxIter, o.prices)
+	res := oracleSolve(net, flows, &o.s, o.MaxIter, o.prices)
+	o.add(int64(res.Iterations))
+	return res
 }
 
 // DGD runs the Low–Lapsley dual-gradient dynamics (§3, Eqs. 3–4) at
@@ -511,6 +553,7 @@ type DGD struct {
 	// fixed step count the epoch dynamics rely on.
 	Tol float64
 
+	iterCount
 	price []float64
 	x     []float64
 	xprev []float64
@@ -585,7 +628,9 @@ func (a *DGD) allocate(net *Network, flows []*Flow, rates []float64, subset bool
 			a.xprev = make([]float64, nf)
 		}
 	}
+	done := 0
 	for it := 0; it < iters; it++ {
+		done = it + 1
 		for i, f := range flows {
 			sum := 0.0
 			for _, l := range f.Links {
@@ -641,6 +686,7 @@ func (a *DGD) allocate(net *Network, flows []*Flow, rates []float64, subset bool
 			}
 		}
 	}
+	a.add(int64(done))
 	copy(rates, x)
 	// load still holds the final iteration's per-link loads of x,
 	// which rates now equals — reuse it for the projection.

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"numfabric/internal/core"
+	"numfabric/internal/obs"
 )
 
 // Config parameterizes an Engine.
@@ -14,6 +15,10 @@ type Config struct {
 	Epoch float64
 	// Allocator computes per-epoch rates (default NewXWI()).
 	Allocator Allocator
+	// Obs attaches optional observability hooks (phase profiler, live
+	// progress, metrics registry). Nil hooks cost nothing: every
+	// instrumentation point is guarded by a nil check.
+	Obs obs.Hooks
 }
 
 func (c Config) withDefaults() Config {
@@ -54,6 +59,11 @@ type Engine struct {
 
 	epochFns []func(now float64, active []*Flow)
 
+	// Observability hooks (nil = disabled; see Config.Obs).
+	prof    *obs.PhaseProfiler
+	prog    *obs.Progress
+	metrics *obs.EngineMetrics
+
 	epochs      int
 	allocs      int
 	solvedFlows int
@@ -84,17 +94,33 @@ type Stats struct {
 	// allocation because the allocator is stationary and no flow
 	// arrived or departed — the epoch engine's only elision.
 	SkippedAllocs int
+	// AllocIters is the allocator's total internal iterations (price
+	// updates, gradient steps, solver iterations) when the allocator
+	// counts them (implements IterCounter); zero otherwise. Allocs
+	// counts solve calls; this counts the work inside them.
+	AllocIters int64
+	// PhaseNanos is the per-phase wall-time breakdown of Run when a
+	// profiler hook is attached (Config.Obs.Profiler); all zeros
+	// otherwise. Index with obs.Phase.
+	PhaseNanos [obs.PhaseCount]int64
 }
 
 // Stats returns the engine's work telemetry so far.
 func (e *Engine) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Epochs:        e.epochs,
 		Allocs:        e.allocs,
 		SolvedFlows:   e.solvedFlows,
 		MaxSolve:      e.maxSolve,
 		SkippedAllocs: e.skipped,
 	}
+	if ic, ok := e.cfg.Allocator.(IterCounter); ok {
+		s.AllocIters = ic.SolveIters()
+	}
+	if e.prof != nil {
+		s.PhaseNanos = e.prof.Nanos()
+	}
+	return s
 }
 
 // StationaryAllocator is an optional Allocator refinement: a true
@@ -114,6 +140,9 @@ func NewEngine(net *Network, cfg Config) *Engine {
 	if s, ok := e.cfg.Allocator.(StationaryAllocator); ok {
 		e.stationary = s.Stationary()
 	}
+	e.prof = cfg.Obs.Profiler
+	e.prog = cfg.Obs.Progress
+	e.metrics = cfg.Obs.Metrics
 	return e
 }
 
@@ -240,7 +269,13 @@ func (e *Engine) admitDue() {
 // Step advances one epoch. It reports whether any work remains
 // (pending or active flows).
 func (e *Engine) Step() bool {
+	if e.prof != nil {
+		e.prof.Lap(obs.PhaseLoop)
+	}
 	e.admitDue()
+	if e.prof != nil {
+		e.prof.Lap(obs.PhaseAdmit)
+	}
 	if len(e.active) == 0 && len(e.pending) == 0 {
 		return false
 	}
@@ -262,8 +297,16 @@ func (e *Engine) Step() bool {
 			if len(e.active) > e.maxSolve {
 				e.maxSolve = len(e.active)
 			}
+			if e.metrics != nil {
+				e.metrics.Allocs.Inc()
+				e.metrics.SolvedFlows.Add(int64(len(e.active)))
+				e.metrics.ComponentFlows.Observe(float64(len(e.active)))
+			}
 		} else {
 			e.skipped++
+		}
+		if e.prof != nil {
+			e.prof.Lap(obs.PhaseSolve)
 		}
 		// Drain; stamp sub-epoch completions.
 		firstDone := len(e.finished)
@@ -326,6 +369,9 @@ func (e *Engine) Step() bool {
 		if batch := e.finished[firstDone:]; len(batch) > 1 {
 			sort.SliceStable(batch, func(i, j int) bool { return batch[i].Finish < batch[j].Finish })
 		}
+		if e.prof != nil {
+			e.prof.Lap(obs.PhaseDrain)
+		}
 	} else {
 		// Idle gap: jump straight to the next arrival's epoch.
 		gap := e.pending[0].Arrive - e.now
@@ -337,6 +383,12 @@ func (e *Engine) Step() bool {
 	for _, fn := range e.epochFns {
 		fn(e.now, e.active)
 	}
+	if e.metrics != nil {
+		e.metrics.Events.Inc()
+	}
+	if e.prog != nil {
+		e.prog.Record(e.now, int64(e.epochs), len(e.active), len(e.finished))
+	}
 	return len(e.active) > 0 || len(e.pending) > 0
 }
 
@@ -344,6 +396,9 @@ func (e *Engine) Step() bool {
 // (seconds; math.Inf(1) runs to completion — never terminates if an
 // unbounded flow is active).
 func (e *Engine) Run(until float64) {
+	if e.prof != nil {
+		e.prof.Arm()
+	}
 	for e.now < until {
 		if !e.Step() {
 			return

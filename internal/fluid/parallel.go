@@ -49,7 +49,10 @@ func (w *WaterFill) Prime(net *Network) { w.s.ensureStamps() }
 // source (which keeps concurrent scans of the same groups collision-
 // free).
 func (w *WaterFill) Worker() SubsetAllocator {
-	return &WaterFill{s: scratch{stamps: w.s.ensureStamps()}}
+	return &WaterFill{
+		iterCount: iterCount{n: w.ensure()},
+		s:         scratch{stamps: w.s.ensureStamps()},
+	}
 }
 
 // Prime sizes the shared per-link price vector (cold prices; the
@@ -68,8 +71,9 @@ func (a *XWI) Prime(net *Network) {
 func (a *XWI) Worker() SubsetAllocator {
 	return &XWI{
 		Eta: a.Eta, Beta: a.Beta, IterPerEpoch: a.IterPerEpoch, Tol: a.Tol,
-		price: a.price,
-		s:     scratch{stamps: a.s.ensureStamps()},
+		iterCount: iterCount{n: a.ensure()},
+		price:     a.price,
+		s:         scratch{stamps: a.s.ensureStamps()},
 	}
 }
 
@@ -86,8 +90,9 @@ func (a *DGD) Prime(net *Network) {
 func (a *DGD) Worker() SubsetAllocator {
 	return &DGD{
 		Gamma: a.Gamma, IterPerEpoch: a.IterPerEpoch, Tol: a.Tol,
-		price: a.price,
-		s:     scratch{stamps: a.s.ensureStamps()},
+		iterCount: iterCount{n: a.ensure()},
+		price:     a.price,
+		s:         scratch{stamps: a.s.ensureStamps()},
 	}
 }
 
@@ -98,6 +103,9 @@ func (o *Oracle) Prime(net *Network) {
 		o.prices = make([]float64, net.Links())
 	}
 	o.s.ensureStamps()
+	// Workers add to the parent's iteration counter at solve time, so
+	// it must exist before any concurrency.
+	o.ensure()
 }
 
 // Worker returns an Oracle view sharing the parent's dual vector. A
@@ -143,6 +151,7 @@ func (w *oracleWorker) AllocateSubset(net *Network, flows []*Flow, rates []float
 		init[l] = shared[l]
 	}
 	res := oracleSolve(net, flows, &w.s, w.parent.MaxIter, init)
+	w.parent.add(int64(res.Iterations))
 	for _, l := range touched {
 		shared[l] = res.Prices[l]
 	}

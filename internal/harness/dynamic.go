@@ -7,6 +7,7 @@ import (
 	"numfabric/internal/fluid"
 	"numfabric/internal/leap"
 	"numfabric/internal/netsim"
+	"numfabric/internal/obs"
 	"numfabric/internal/oracle"
 	"numfabric/internal/sim"
 	"numfabric/internal/stats"
@@ -50,7 +51,11 @@ type DynamicConfig struct {
 	// run. FCTs are byte-identical either way; the packet and fluid
 	// epoch engines ignore it.
 	Workers int
-	Seed    uint64
+	// Obs attaches observability hooks (phase profiler, tracer, live
+	// progress, metrics) to the flow-level engines; the packet engine
+	// ignores it. Nil hooks cost nothing and never change results.
+	Obs  obs.Hooks
+	Seed uint64
 }
 
 // DefaultDynamic returns a scaled dynamic-workload config.

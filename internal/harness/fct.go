@@ -2,6 +2,7 @@ package harness
 
 import (
 	"numfabric/internal/core"
+	"numfabric/internal/obs"
 	"numfabric/internal/sim"
 	"numfabric/internal/stats"
 	"numfabric/internal/workload"
@@ -23,7 +24,10 @@ type FCTConfig struct {
 	// (0 = all cores, 1 = serial; leap engine only — see
 	// DynamicConfig.Workers).
 	Workers int
-	Seed    uint64
+	// Obs attaches observability hooks to the fluid/leap engines (nil
+	// hooks cost nothing and never change results).
+	Obs  obs.Hooks
+	Seed uint64
 }
 
 // DefaultFCT returns a scaled Figure 7 configuration.
@@ -68,6 +72,7 @@ func RunFCTWith(eng Engine, cfg FCTConfig, scheme Scheme, load float64) FCTPoint
 		Alpha:          cfg.Epsilon,
 		Drain:          500 * sim.Millisecond,
 		Workers:        cfg.Workers,
+		Obs:            cfg.Obs,
 		Seed:           cfg.Seed,
 		SkipFluidIdeal: true, // Figure 7 normalizes by line-rate FCT
 	}

@@ -192,6 +192,7 @@ func RunDynamicFluid(cfg DynamicConfig) DynamicResult {
 	return runDynamicFlowEngine(cfg, topo, fluid.NewEngine(FluidNetwork(topo), fluid.Config{
 		Epoch:     epoch,
 		Allocator: FluidAllocatorFor(cfg.Scheme),
+		Obs:       cfg.Obs,
 	}))
 }
 

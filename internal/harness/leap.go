@@ -7,6 +7,7 @@ import (
 	"numfabric/internal/core"
 	"numfabric/internal/fluid"
 	"numfabric/internal/leap"
+	"numfabric/internal/obs"
 	"numfabric/internal/sim"
 	"numfabric/internal/workload"
 )
@@ -104,6 +105,7 @@ func RunDynamicLeap(cfg DynamicConfig) DynamicResult {
 	return runDynamicFlowEngine(cfg, topo, leap.NewEngine(FluidNetwork(topo), leap.Config{
 		Allocator: LeapAllocatorFor(cfg.Scheme),
 		Workers:   LeapWorkers(cfg.Workers),
+		Obs:       cfg.Obs,
 	}))
 }
 
@@ -124,7 +126,10 @@ type IncastConfig struct {
 	// Workers bounds the leap engine's concurrent component solves
 	// (0 = all cores, 1 = serial; results are identical either way).
 	Workers int
-	Seed    uint64
+	// Obs attaches observability hooks to the leap engine (nil hooks
+	// cost nothing and never change results).
+	Obs  obs.Hooks
+	Seed uint64
 }
 
 // DefaultIncast returns a scaled incast scenario: 16 senders × 64 KB
@@ -176,6 +181,7 @@ func RunIncastLeap(cfg IncastConfig) IncastResult {
 	leng := leap.NewEngine(FluidNetwork(topo), leap.Config{
 		Allocator: LeapAllocatorFor(cfg.Scheme),
 		Workers:   LeapWorkers(cfg.Workers),
+		Obs:       cfg.Obs,
 	})
 	flows := make([]*fluid.Flow, len(arrivals))
 	burstOf := make([]int, len(arrivals))

@@ -91,6 +91,7 @@ import (
 
 	"numfabric/internal/core"
 	"numfabric/internal/fluid"
+	"numfabric/internal/obs"
 )
 
 // Config parameterizes an Engine.
@@ -136,6 +137,14 @@ type Config struct {
 	// completions — it only trades sweep frequency against heap
 	// growth, which TestSweepThresholdEquivalence pins.
 	SweepThreshold int
+	// Obs attaches optional observability hooks: a phase profiler for
+	// the event loop, a tracer recording per-worker solve spans, a live
+	// progress snapshot, and registry metrics. Nil hooks (the default)
+	// cost nothing — every instrumentation point is guarded by a nil
+	// check, so the hot loop stays allocation-free and completions are
+	// byte-identical with hooks on or off (instrumentation never
+	// touches engine state).
+	Obs obs.Hooks
 }
 
 // parallelMinFlows and parallelMinOps gate the worker pool: a batch
@@ -255,6 +264,17 @@ type Stats struct {
 	// flight concurrently in one batch: min(Workers, the batch's
 	// components).
 	MaxConcurrentComponents int
+	// AllocIters is the allocator's total internal iterations (price
+	// updates, gradient steps, solver iterations) when the allocator
+	// counts them (implements fluid.IterCounter); zero otherwise.
+	// Allocs counts solve calls; this counts the work inside them,
+	// summed across workers in parallel runs.
+	AllocIters int64
+	// PhaseNanos is the per-phase wall-time breakdown of Run when a
+	// profiler hook is attached (Config.Obs.Profiler); all zeros
+	// otherwise. Index with obs.Phase; consecutive laps tile the event
+	// loop, so the sum is within noise of the wall time spent in Run.
+	PhaseNanos [obs.PhaseCount]int64
 }
 
 // flowState is the engine's per-flow bookkeeping, packed to 16 bytes
@@ -452,6 +472,14 @@ type Engine struct {
 	maxBatch      int
 	parSolves     int
 	maxConcurrent int
+
+	// Observability hooks (nil = disabled; see Config.Obs). The tracer
+	// routes worker w's solve spans to track w+1; track 0 carries the
+	// event loop's batch spans.
+	prof    *obs.PhaseProfiler
+	tracer  *obs.Tracer
+	prog    *obs.Progress
+	metrics *obs.EngineMetrics
 }
 
 // NewEngine returns an event-driven engine over net.
@@ -540,6 +568,17 @@ func NewEngine(net *fluid.Network, cfg Config) *Engine {
 	e.shardOps = make([][]evOp, nsh)
 	e.floodBufs = make([]floodBuf, nsh)
 	e.shardEv = make([][]event, nsh)
+	e.prof = cfg.Obs.Profiler
+	e.prog = cfg.Obs.Progress
+	e.metrics = cfg.Obs.Metrics
+	if tr := cfg.Obs.Tracer; tr != nil {
+		e.tracer = tr
+		tr.EnsureTracks(e.workers + 1)
+		tr.SetTrackName(0, "engine")
+		for w := 0; w < e.workers; w++ {
+			tr.SetTrackName(w+1, fmt.Sprintf("worker %d", w))
+		}
+	}
 	return e
 }
 
@@ -596,7 +635,7 @@ func (e *Engine) Events() int { return e.events }
 
 // Stats returns the engine's work telemetry so far.
 func (e *Engine) Stats() Stats {
-	return Stats{
+	s := Stats{
 		Events:                  e.events,
 		Allocs:                  e.allocs,
 		SolvedFlows:             e.solved,
@@ -609,6 +648,13 @@ func (e *Engine) Stats() Stats {
 		ParallelSolves:          e.parSolves,
 		MaxConcurrentComponents: e.maxConcurrent,
 	}
+	if ic, ok := e.alloc.(fluid.IterCounter); ok {
+		s.AllocIters = ic.SolveIters()
+	}
+	if e.prof != nil {
+		s.PhaseNanos = e.prof.Nanos()
+	}
+	return s
 }
 
 // AddFlow schedules a flow over links, arriving at time at (seconds;
@@ -1182,14 +1228,27 @@ func (e *Engine) solveComponent(alloc fluid.SubsetAllocator, ci int) {
 func (e *Engine) reallocate() {
 	comps := e.collectComponents()
 	nc := len(comps)
+	if e.prof != nil {
+		e.prof.Lap(obs.PhaseFlood)
+	}
 	if nc == 0 {
 		return
+	}
+	var batchStart int64
+	if e.tracer != nil {
+		batchStart = e.tracer.Clock()
 	}
 	e.fullSolve += e.liveActive()
 	e.batches++
 	e.batchComps += nc
 	if nc > e.maxBatch {
 		e.maxBatch = nc
+	}
+	if e.metrics != nil {
+		e.metrics.BatchComponents.Observe(float64(nc))
+	}
+	if e.prog != nil {
+		e.prog.RecordBatch(nc)
 	}
 	if n := len(e.comp); cap(e.ratesArena) < n {
 		e.ratesArena = make([]float64, 2*n+64)
@@ -1239,10 +1298,25 @@ func (e *Engine) reallocate() {
 		})
 		e.compOrder = order
 		runWorkers(workers, nc, func(w, oi int) {
-			e.solveComponent(e.subW[w], order[oi])
+			ci := order[oi]
+			if e.tracer != nil {
+				start := e.tracer.Clock()
+				e.solveComponent(e.subW[w], ci)
+				r := e.comps[ci]
+				e.tracer.Span(w+1, "solve", start, int64(r.f1-r.f0))
+				return
+			}
+			e.solveComponent(e.subW[w], ci)
 		})
 	} else {
 		for ci := 0; ci < nc; ci++ {
+			if e.tracer != nil {
+				start := e.tracer.Clock()
+				e.solveComponent(e.subW[0], ci)
+				r := e.comps[ci]
+				e.tracer.Span(1, "solve", start, int64(r.f1-r.f0))
+				continue
+			}
 			e.solveComponent(e.subW[0], ci)
 		}
 	}
@@ -1262,6 +1336,11 @@ func (e *Engine) reallocate() {
 			if parallel {
 				e.parSolves++
 			}
+			if e.metrics != nil {
+				e.metrics.Allocs.Inc()
+				e.metrics.SolvedFlows.Add(int64(r.solved))
+				e.metrics.ComponentFlows.Observe(float64(r.solved))
+			}
 		} else {
 			e.elided++
 		}
@@ -1272,6 +1351,9 @@ func (e *Engine) reallocate() {
 			}
 			e.shardOps[s] = append(e.shardOps[s], op)
 		}
+	}
+	if e.prof != nil {
+		e.prof.Lap(obs.PhaseSolve)
 	}
 
 	// Phase B: resplice per shard, concurrently when several shards
@@ -1304,6 +1386,12 @@ func (e *Engine) reallocate() {
 	}
 	e.shardList = touched[:0]
 	e.maybeCompact()
+	if e.prof != nil {
+		e.prof.Lap(obs.PhaseResplice)
+	}
+	if e.tracer != nil {
+		e.tracer.Span(0, "batch", batchStart, int64(nc))
+	}
 }
 
 // allocateGlobal re-solves the full active set (global mode).
@@ -1327,6 +1415,14 @@ func (e *Engine) allocateGlobal() {
 	}
 	e.changed = false
 	e.maybeCompact()
+	if e.prof != nil {
+		e.prof.Lap(obs.PhaseSolve)
+	}
+	if e.metrics != nil {
+		e.metrics.Allocs.Inc()
+		e.metrics.SolvedFlows.Add(int64(n))
+		e.metrics.ComponentFlows.Observe(float64(n))
+	}
 }
 
 // materialize realizes every active finite payload's lazy drain at
@@ -1579,7 +1675,13 @@ func (e *Engine) Step() bool { return e.step(math.Inf(1)) }
 // it, time advances (and payloads drain) only to the deadline and no
 // event fires.
 func (e *Engine) step(deadline float64) bool {
+	if e.prof != nil {
+		e.prof.Lap(obs.PhaseLoop)
+	}
 	e.admitDue()
+	if e.prof != nil {
+		e.prof.Lap(obs.PhaseAdmit)
+	}
 	if e.liveActive() == 0 && e.next >= len(e.pending) {
 		return false
 	}
@@ -1608,11 +1710,23 @@ func (e *Engine) step(deadline float64) bool {
 	if t > deadline {
 		e.materialize(deadline)
 		e.now = deadline
+		if e.prof != nil {
+			e.prof.Lap(obs.PhaseDrain)
+		}
 		return true
 	}
 	e.now = t
 	e.complete(t)
 	e.events++
+	if e.prof != nil {
+		e.prof.Lap(obs.PhaseComplete)
+	}
+	if e.metrics != nil {
+		e.metrics.Events.Inc()
+	}
+	if e.prog != nil {
+		e.prog.Record(e.now, int64(e.events), e.liveActive(), len(e.finished))
+	}
 	return true
 }
 
@@ -1622,6 +1736,9 @@ func (e *Engine) step(deadline float64) bool {
 // rates settled and payloads materialized at until, exactly as the
 // epoch engine leaves them.
 func (e *Engine) Run(until float64) {
+	if e.prof != nil {
+		e.prof.Arm()
+	}
 	for e.now < until {
 		if !e.step(until) {
 			return
@@ -1642,4 +1759,7 @@ func (e *Engine) Run(until float64) {
 		e.reallocate()
 	}
 	e.materialize(e.now)
+	if e.prof != nil {
+		e.prof.Lap(obs.PhaseDrain)
+	}
 }

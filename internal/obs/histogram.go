@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Histogram bucketing: log-linear, the HDR-histogram idea cut to its
+// core. A value lands in the bucket of its power-of-two octave
+// (math.Frexp exponent, biased so sub-unit values resolve too),
+// subdivided into histSub linear sub-buckets — so the relative
+// quantile error is bounded by one sub-bucket, a factor of
+// 2^(1/histSub) ≈ 9%, with a fixed 4 KB of memory and no locking.
+const (
+	histSub     = 8
+	histOctaves = 64
+	// histBias shifts the frexp exponent so values down to 2^-16 get
+	// their own octaves; with 64 octaves the top of the range is
+	// 2^47 — in nanoseconds, about 40 hours.
+	histBias    = 16
+	histBuckets = histOctaves * histSub
+)
+
+// Histogram is a fixed-size log-linear histogram with atomic
+// lock-free updates from any goroutine: Observe is a handful of
+// float ops plus one atomic add (plus CAS loops for the sum/min/max
+// trackers). Negative and NaN observations are dropped; zero lands in
+// the lowest bucket.
+type Histogram struct {
+	count   atomic.Int64
+	dropped atomic.Int64
+	sumBits atomic.Uint64
+	minBits atomic.Uint64
+	maxBits atomic.Uint64
+	buckets [histBuckets]atomic.Int64
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	h := &Histogram{}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// bucketOf maps v (> 0) to its bucket index.
+func bucketOf(v float64) int {
+	frac, exp := math.Frexp(v) // v = frac × 2^exp, frac ∈ [0.5, 1)
+	oct := exp + histBias
+	if oct < 0 {
+		return 0
+	}
+	if oct >= histOctaves {
+		return histBuckets - 1
+	}
+	sub := int((frac - 0.5) * 2 * histSub)
+	if sub >= histSub {
+		sub = histSub - 1
+	}
+	return oct*histSub + sub
+}
+
+// bucketMid returns the geometric representative (midpoint) of bucket
+// i — the value quantiles report for ranks landing in it.
+func bucketMid(i int) float64 {
+	oct := i / histSub
+	sub := i % histSub
+	lo := math.Ldexp(0.5+float64(sub)/(2*histSub), oct-histBias)
+	hi := math.Ldexp(0.5+float64(sub+1)/(2*histSub), oct-histBias)
+	return (lo + hi) / 2
+}
+
+// Observe records one sample. Safe for concurrent use; a nil
+// *Histogram is a no-op.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if math.IsNaN(v) || v < 0 {
+		h.dropped.Add(1)
+		return
+	}
+	idx := 0
+	if v > 0 {
+		idx = bucketOf(v)
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	atomicAddFloat(&h.sumBits, v)
+	atomicMinFloat(&h.minBits, v)
+	atomicMaxFloat(&h.maxBits, v)
+}
+
+func atomicAddFloat(bits *atomic.Uint64, d float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func atomicMinFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func atomicMaxFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Count returns how many samples have been observed.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Quantile returns the q-quantile (q ∈ [0, 1]) as the representative
+// value of the bucket holding that rank, NaN when empty. The relative
+// error is bounded by the sub-bucket width (≈ 9%).
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	n := h.count.Load()
+	if n == 0 {
+		return math.NaN()
+	}
+	rank := int64(math.Ceil(q * float64(n)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > n {
+		rank = n
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return bucketMid(i)
+		}
+	}
+	return math.Float64frombits(h.maxBits.Load())
+}
+
+// HistogramSnapshot is the JSON view of a histogram: count, moments,
+// and the standard quantiles.
+type HistogramSnapshot struct {
+	Count   int64   `json:"count"`
+	Dropped int64   `json:"dropped,omitempty"`
+	Mean    float64 `json:"mean"`
+	Min     float64 `json:"min"`
+	Max     float64 `json:"max"`
+	P50     float64 `json:"p50"`
+	P90     float64 `json:"p90"`
+	P99     float64 `json:"p99"`
+}
+
+// Snapshot captures the histogram's current state. NaNs (empty
+// histogram) are rendered as zeros so the snapshot stays valid JSON.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil || h.count.Load() == 0 {
+		return HistogramSnapshot{Dropped: h.Dropped()}
+	}
+	n := h.count.Load()
+	return HistogramSnapshot{
+		Count:   n,
+		Dropped: h.dropped.Load(),
+		Mean:    math.Float64frombits(h.sumBits.Load()) / float64(n),
+		Min:     math.Float64frombits(h.minBits.Load()),
+		Max:     math.Float64frombits(h.maxBits.Load()),
+		P50:     h.Quantile(0.50),
+		P90:     h.Quantile(0.90),
+		P99:     h.Quantile(0.99),
+	}
+}
+
+// Dropped returns how many observations were rejected (negative or
+// NaN).
+func (h *Histogram) Dropped() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.dropped.Load()
+}

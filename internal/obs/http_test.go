@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) []byte {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d\n%s", path, resp.StatusCode, body)
+	}
+	return body
+}
+
+func TestDebugEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("leap.events").Add(99)
+	prog := &Progress{}
+	prog.Record(2.0, 1000, 50, 200)
+	prog.RecordBatch(4)
+
+	srv := httptest.NewServer(Handler(reg, prog))
+	defer srv.Close()
+
+	var snap Snapshot
+	if err := json.Unmarshal(get(t, srv, "/metrics"), &snap); err != nil {
+		t.Fatalf("/metrics does not parse: %v", err)
+	}
+	if snap.Counters["leap.events"] != 99 {
+		t.Errorf("/metrics counter = %d, want 99", snap.Counters["leap.events"])
+	}
+
+	var ps ProgressSnapshot
+	if err := json.Unmarshal(get(t, srv, "/progress"), &ps); err != nil {
+		t.Fatalf("/progress does not parse: %v", err)
+	}
+	if ps.Events != 1000 || ps.ActiveFlows != 50 || ps.Finished != 200 || ps.BatchComponents != 4 {
+		t.Errorf("/progress = %+v", ps)
+	}
+	if ps.SimSeconds < 1.99 || ps.SimSeconds > 2.01 {
+		t.Errorf("sim_seconds = %g, want ~2", ps.SimSeconds)
+	}
+
+	// pprof and expvar must be mounted.
+	get(t, srv, "/debug/pprof/cmdline")
+	get(t, srv, "/debug/vars")
+	get(t, srv, "/")
+}
+
+func TestDebugEndpointsNilBackends(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil, nil))
+	defer srv.Close()
+	if body := get(t, srv, "/metrics"); len(body) == 0 {
+		t.Error("nil-registry /metrics should still serve JSON")
+	}
+	var ps ProgressSnapshot
+	if err := json.Unmarshal(get(t, srv, "/progress"), &ps); err != nil {
+		t.Fatalf("nil-progress /progress does not parse: %v", err)
+	}
+}
+
+func TestServe(t *testing.T) {
+	ln, err := Serve("127.0.0.1:0", NewRegistry(), &Progress{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	resp, err := http.Get("http://" + ln.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestProgressRates(t *testing.T) {
+	var p Progress
+	p.Record(0, 0, 0, 0)
+	p.Record(5, 500, 10, 20)
+	s := p.Snapshot()
+	if s.Events != 500 || s.SimSeconds != 5 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.WallSeconds < 0 {
+		t.Fatalf("wall_seconds = %g", s.WallSeconds)
+	}
+}

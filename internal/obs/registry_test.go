@@ -1,0 +1,198 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"numfabric/internal/stats"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatalf("Counter(name) should return the same instrument")
+	}
+	g := r.Gauge("g")
+	g.Set(2.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge = %g, want 2.5", got)
+	}
+	r.GaugeFunc("derived", func() float64 { return 7 })
+
+	s := r.Snapshot()
+	if s.Counters["c"] != 42 || s.Gauges["g"] != 2.5 || s.Gauges["derived"] != 7 {
+		t.Fatalf("snapshot mismatch: %+v", s)
+	}
+}
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var p *PhaseProfiler
+	var pr *Progress
+	var tr *Tracer
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	h.Observe(1)
+	p.Arm()
+	p.Lap(PhaseSolve)
+	pr.Record(0, 0, 0, 0)
+	pr.RecordBatch(1)
+	tr.Span(0, "solve", 0, 0)
+	tr.EnsureTracks(2)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 ||
+		p.TotalNanos() != 0 || tr.TotalSpans() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+	if got := pr.Snapshot(); got != (ProgressSnapshot{}) {
+		t.Fatalf("nil progress snapshot = %+v, want zero", got)
+	}
+}
+
+// TestHistogramQuantiles checks the log-linear buckets against the
+// exact stats.Percentile over the same samples: every quantile must
+// be within the histogram's design error bound (one sub-bucket,
+// 2^(1/8) ≈ 9%; allow 15% for boundary effects).
+func TestHistogramQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHistogram()
+	var xs []float64
+	for i := 0; i < 20000; i++ {
+		// Log-uniform over ~6 decades, the shape of solve durations.
+		v := math.Exp(rng.Float64()*14 - 4)
+		xs = append(xs, v)
+		h.Observe(v)
+	}
+	for _, q := range []float64{0.10, 0.50, 0.90, 0.99} {
+		exact := stats.Percentile(xs, q)
+		got := h.Quantile(q)
+		if rel := math.Abs(got-exact) / exact; rel > 0.15 {
+			t.Errorf("q=%.2f: histogram %.4g vs exact %.4g (rel err %.1f%%)",
+				q, got, exact, rel*100)
+		}
+	}
+	if h.Count() != int64(len(xs)) {
+		t.Fatalf("count = %d, want %d", h.Count(), len(xs))
+	}
+	snap := h.Snapshot()
+	exactMean := stats.Mean(xs)
+	if rel := math.Abs(snap.Mean-exactMean) / exactMean; rel > 1e-9 {
+		t.Errorf("mean = %g, want %g", snap.Mean, exactMean)
+	}
+	if snap.Min != stats.Percentile(xs, 0) || snap.Max != stats.Percentile(xs, 1) {
+		t.Errorf("min/max = %g/%g, want %g/%g",
+			snap.Min, snap.Max, stats.Percentile(xs, 0), stats.Percentile(xs, 1))
+	}
+}
+
+func TestHistogramEdgeCases(t *testing.T) {
+	h := NewHistogram()
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram quantile should be NaN")
+	}
+	if snap := h.Snapshot(); snap.Count != 0 || snap.Mean != 0 || snap.P99 != 0 {
+		t.Errorf("empty snapshot should be zeros, got %+v", snap)
+	}
+	h.Observe(math.NaN())
+	h.Observe(-1)
+	if h.Count() != 0 || h.Dropped() != 2 {
+		t.Fatalf("count/dropped = %d/%d, want 0/2", h.Count(), h.Dropped())
+	}
+	h.Observe(0)
+	if h.Count() != 1 || h.Quantile(0.5) < 0 {
+		t.Fatalf("zero sample mishandled: count=%d q50=%g", h.Count(), h.Quantile(0.5))
+	}
+	// Far out-of-range values clamp to the end buckets, never panic.
+	h.Observe(1e300)
+	h.Observe(1e-300)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d, want 3", h.Count())
+	}
+}
+
+// TestConcurrentUpdates hammers one counter, gauge, and histogram from
+// many goroutines; run under -race this is the registry's data-race
+// guard, and the counter/histogram totals must be exact.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("events")
+			g := r.Gauge("width")
+			h := r.Histogram("sizes")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Set(float64(i))
+				h.Observe(float64(w*perWorker + i))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if s.Counters["events"] != workers*perWorker {
+		t.Errorf("counter = %d, want %d", s.Counters["events"], workers*perWorker)
+	}
+	if s.Histograms["sizes"].Count != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", s.Histograms["sizes"].Count, workers*perWorker)
+	}
+	wantSum := float64(workers*perWorker) * float64(workers*perWorker-1) / 2
+	gotSum := s.Histograms["sizes"].Mean * float64(s.Histograms["sizes"].Count)
+	if math.Abs(gotSum-wantSum)/wantSum > 1e-9 {
+		t.Errorf("histogram sum = %g, want %g", gotSum, wantSum)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("leap.events").Add(123)
+	r.Gauge("leap.load").Set(0.8)
+	r.Histogram("leap.batch_components").Observe(4)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &s); err != nil {
+		t.Fatalf("snapshot JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if s.Counters["leap.events"] != 123 || s.Gauges["leap.load"] != 0.8 {
+		t.Fatalf("round-trip mismatch: %+v", s)
+	}
+	if s.Histograms["leap.batch_components"].Count != 1 {
+		t.Fatalf("histogram round-trip mismatch: %+v", s.Histograms)
+	}
+}
+
+func TestEngineMetricsNames(t *testing.T) {
+	r := NewRegistry()
+	m := NewEngineMetrics(r, "leap")
+	m.Events.Add(10)
+	m.BatchComponents.Observe(3)
+	s := r.Snapshot()
+	if s.Counters["leap.events"] != 10 {
+		t.Errorf("leap.events = %d, want 10", s.Counters["leap.events"])
+	}
+	if s.Histograms["leap.batch_components"].Count != 1 {
+		t.Errorf("leap.batch_components missing: %+v", s.Histograms)
+	}
+}
