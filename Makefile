@@ -1,6 +1,6 @@
 # Convenience targets; CI runs the same commands.
 
-.PHONY: test race bench-smoke bench-json
+.PHONY: test race leap-race-matrix fuzz bench-smoke bench-json
 
 test:
 	go build ./... && go test ./...
@@ -8,12 +8,27 @@ test:
 race:
 	go test -race -short ./...
 
+# The PDES window correctness matrix CI runs cell by cell: the leap
+# package's full suite under -race across worker counts × window
+# off/on, pinned via the LEAP_TEST_* environment knobs.
+leap-race-matrix:
+	for w in 1 2 8; do for win in 1 8; do \
+		echo "=== workers=$$w window=$$win"; \
+		LEAP_TEST_WORKERS=$$w LEAP_TEST_WINDOW=$$win go test -race ./internal/leap/ || exit 1; \
+	done; done
+
+# Explore the windowed-vs-serial fuzz target beyond its committed seed
+# corpus (CI runs 30s per push; run longer locally when touching the
+# event loop).
+fuzz:
+	go test -run '^$$' -fuzz FuzzWindowedMatchesSerial -fuzztime 60s ./internal/leap/
+
 # One full iteration of each leap benchmark, with their built-in
 # accuracy/identity assertions.
 bench-smoke:
 	go test -run '^$$' -bench 'BenchmarkLeap(FCT|Components|Parallel)' -benchtime 1x .
 
-# Regenerate the perf-trajectory record (cores-vs-throughput on the
-# parallel coflow workload).
+# Regenerate the perf-trajectory record (the workload × workers ×
+# window matrix, FCT-checked against serial).
 bench-json:
-	go run ./cmd/benchjson -out BENCH_leap.json
+	go run ./cmd/benchjson -out BENCH_leap.json -repeat 3

@@ -12,7 +12,10 @@
 // -workers bounds the leap engine's parallel solves of the disjoint
 // link-sharing components touched by one event batch (0, the default,
 // uses every core; 1 forces a serial run; FCTs are byte-identical
-// either way).
+// either way). -window sets the leap engine's PDES lookahead depth:
+// how many link-disjoint event instants one cross-time window may
+// absorb and solve together (0/1, the default, keeps the
+// instant-at-a-time loop; FCTs are byte-identical at any depth).
 //
 // -engine selects the execution engine for the convergence (fig4a),
 // dynamic-workload (fig5a/fig5b), FCT (fig7), and resource-pooling
@@ -61,6 +64,10 @@ var engine harness.Engine
 // via -workers (0 = one worker per core).
 var workers int
 
+// window is the leap engine's PDES lookahead depth selected via
+// -window (0/1 = instant-at-a-time).
+var window int
+
 // cliObs holds the observability hooks built from -debug-addr and
 // -trace-out; experiments hand it to every engine they build. With
 // neither flag set every hook is nil and the engines skip all
@@ -94,6 +101,7 @@ func main() {
 	out := flag.String("out", "", "directory for CSV output (optional)")
 	eng := flag.String("engine", "packet", "\"packet\" (discrete-event simulator), \"fluid\" (flow-level fast path), or \"leap\" (event-driven fast path) for fig4a/fig5a/fig5b/fig7/fig8")
 	w := flag.Int("workers", 0, "goroutines for the leap engine's parallel component solves (0 = one per core, 1 = serial; FCTs are identical either way)")
+	win := flag.Int("window", 0, "leap engine PDES lookahead depth: link-disjoint event instants one cross-time window may solve together (0/1 = instant-at-a-time; FCTs are identical at any depth)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /progress, /debug/pprof and /debug/vars on this address while experiments run (e.g. localhost:6060)")
 	debugHold := flag.Duration("debug-hold", 0, "keep the -debug-addr server alive this long after the experiments finish")
 	traceOut := flag.String("trace-out", "", "write a Chrome-trace (chrome://tracing / Perfetto) timeline of engine batches and per-worker component solves to this file")
@@ -102,6 +110,7 @@ func main() {
 	flag.Parse()
 	outDir = *out
 	workers = *w
+	window = *win
 	var err error
 	if engine, err = harness.ParseEngine(*eng); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -356,6 +365,7 @@ func runFig5(full bool, seed uint64, cdf *workload.SizeCDF) {
 		cfg.Flows = flows
 		cfg.Seed = seed
 		cfg.Workers = workers
+		cfg.Window = window
 		cfg.Obs = cliObs
 		if full {
 			cfg.Topo = harness.PaperTopology()
@@ -412,6 +422,7 @@ func runFig7(full bool, seed uint64) {
 	cfg := harness.DefaultFCT()
 	cfg.Seed = seed
 	cfg.Workers = workers
+	cfg.Window = window
 	cfg.Obs = cliObs
 	if full {
 		cfg.Topo = harness.PaperTopology()

@@ -51,6 +51,12 @@ type DynamicConfig struct {
 	// run. FCTs are byte-identical either way; the packet and fluid
 	// epoch engines ignore it.
 	Workers int
+	// Window sets the leap engine's PDES lookahead depth
+	// (leap.Config{Window}): how many link-disjoint event instants one
+	// cross-time window may absorb and solve together. 0 or 1 keeps
+	// the instant-at-a-time loop. FCTs are byte-identical at any
+	// depth; the packet and fluid epoch engines ignore it.
+	Window int
 	// Obs attaches observability hooks (phase profiler, tracer, live
 	// progress, metrics) to the flow-level engines; the packet engine
 	// ignores it. Nil hooks cost nothing and never change results.

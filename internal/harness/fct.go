@@ -24,6 +24,9 @@ type FCTConfig struct {
 	// (0 = all cores, 1 = serial; leap engine only — see
 	// DynamicConfig.Workers).
 	Workers int
+	// Window sets the leap engine's PDES lookahead depth (see
+	// DynamicConfig.Window); leap engine only.
+	Window int
 	// Obs attaches observability hooks to the fluid/leap engines (nil
 	// hooks cost nothing and never change results).
 	Obs  obs.Hooks
@@ -72,6 +75,7 @@ func RunFCTWith(eng Engine, cfg FCTConfig, scheme Scheme, load float64) FCTPoint
 		Alpha:          cfg.Epsilon,
 		Drain:          500 * sim.Millisecond,
 		Workers:        cfg.Workers,
+		Window:         cfg.Window,
 		Obs:            cfg.Obs,
 		Seed:           cfg.Seed,
 		SkipFluidIdeal: true, // Figure 7 normalizes by line-rate FCT

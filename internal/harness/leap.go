@@ -105,6 +105,7 @@ func RunDynamicLeap(cfg DynamicConfig) DynamicResult {
 	return runDynamicFlowEngine(cfg, topo, leap.NewEngine(FluidNetwork(topo), leap.Config{
 		Allocator: LeapAllocatorFor(cfg.Scheme),
 		Workers:   LeapWorkers(cfg.Workers),
+		Window:    cfg.Window,
 		Obs:       cfg.Obs,
 	}))
 }
@@ -126,6 +127,9 @@ type IncastConfig struct {
 	// Workers bounds the leap engine's concurrent component solves
 	// (0 = all cores, 1 = serial; results are identical either way).
 	Workers int
+	// Window sets the leap engine's PDES lookahead depth (see
+	// DynamicConfig.Window); results are identical at any depth.
+	Window int
 	// Obs attaches observability hooks to the leap engine (nil hooks
 	// cost nothing and never change results).
 	Obs  obs.Hooks
@@ -181,6 +185,7 @@ func RunIncastLeap(cfg IncastConfig) IncastResult {
 	leng := leap.NewEngine(FluidNetwork(topo), leap.Config{
 		Allocator: LeapAllocatorFor(cfg.Scheme),
 		Workers:   LeapWorkers(cfg.Workers),
+		Window:    cfg.Window,
 		Obs:       cfg.Obs,
 	})
 	flows := make([]*fluid.Flow, len(arrivals))

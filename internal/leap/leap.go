@@ -85,8 +85,8 @@ package leap
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
-	"sync"
 	"sync/atomic"
 
 	"numfabric/internal/core"
@@ -118,7 +118,32 @@ type Config struct {
 	// fluid.ParallelSubsetAllocator (all built-in allocators do);
 	// otherwise the engine falls back to serial solves. Global mode is
 	// always serial — there is only ever one component to solve.
+	//
+	// Workers is a request, not a mandate: the engine clamps it to
+	// GOMAXPROCS at construction (parallel dispatch on a core-starved
+	// runtime is pure overhead) and gates each batch on its actual
+	// work, so Workers > 1 never loses to serial on narrow batches or
+	// scarce cores. Results are byte-identical regardless of what the
+	// gate decides.
 	Workers int
+	// Window enables conservative cross-time parallelism (classic
+	// PDES): instead of batching only events that share an instant,
+	// the event loop pops events forward in virtual time — up to
+	// Window distinct instants per window — for as long as they touch
+	// link-disjoint components, bounded by the earliest event in any
+	// shared component (the safety bound). Completions in link-
+	// disjoint components at different instants commute, so the
+	// window's component set solves as one wide batch, each component
+	// at its own virtual time; completions stay byte-identical to the
+	// serial engine for every Window value. 0 or 1 disables windowing
+	// and keeps the instant-batched event loop unchanged. Global mode
+	// ignores Window (every event shares the one global component, so
+	// a window could never grow past one instant).
+	Window int
+	// forcePar (tests only, hence unexported) skips the GOMAXPROCS
+	// clamp so the parallel machinery is exercised — and raced — even
+	// on single-core runners.
+	forcePar bool
 	// LinkShards partitions the links into locality shards (e.g.
 	// fluid.FatTree.LinkShards, one shard per leaf sub-network). A
 	// completion event lives in the heap shard of its flow's first
@@ -169,37 +194,30 @@ const (
 	parallelGatherMinShards = 4
 )
 
-// runWorkers fans n tasks across at most workers goroutines: each
-// goroutine claims task indices from a shared counter until they run
-// out, and task(w, i) runs task i on worker w — w is unique per
-// goroutine, so per-worker state (a subW solver view) is exclusive.
-// Blocks until every task completes.
-func runWorkers(workers, n int, task func(w, i int)) {
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				task(w, i)
-			}
-		}(w)
-	}
-	wg.Wait()
+// floodBuf is one shard's flood workspace: the seeds bucketed to the
+// shard, the components its worker grew from them, and whether the
+// shard's flood escaped its shard (aborted; redone serially).
+type floodBuf struct {
+	seeds   []*fluid.Flow
+	comp    []*fluid.Flow
+	compG   []*fluid.Group
+	comps   []compRange
+	aborted bool
 }
 
-// floodBuf is one shard's flood workspace: the seeds bucketed to the
-// shard and the components its worker grew from them.
-type floodBuf struct {
-	seeds []*fluid.Flow
-	comp  []*fluid.Flow
-	compG []*fluid.Group
-	comps []compRange
+// EffectiveWorkers reports the worker count an engine constructed with
+// Config{Workers: w} actually runs: the request clamped to GOMAXPROCS,
+// with w < 1 meaning serial. Benchmarks use it to recognize requested
+// counts that collapse to the same configuration (and so the same true
+// performance) on the current host.
+func EffectiveWorkers(w int) int {
+	if w < 1 {
+		return 1
+	}
+	if p := runtime.GOMAXPROCS(0); w > p {
+		return p
+	}
+	return w
 }
 
 func (c Config) withDefaults() Config {
@@ -209,8 +227,18 @@ func (c Config) withDefaults() Config {
 	if c.Workers < 1 {
 		c.Workers = 1
 	}
+	// The scarce-core half of the adaptive gate: requesting more
+	// workers than the runtime has cores buys nothing but dispatch
+	// overhead, so the engine quietly runs with what can actually
+	// execute (EffectiveWorkers). Results are identical either way.
+	if !c.forcePar {
+		c.Workers = EffectiveWorkers(c.Workers)
+	}
 	if c.SweepThreshold <= 0 {
 		c.SweepThreshold = 64
+	}
+	if c.Window < 1 {
+		c.Window = 1
 	}
 	return c
 }
@@ -264,6 +292,36 @@ type Stats struct {
 	// flight concurrently in one batch: min(Workers, the batch's
 	// components).
 	MaxConcurrentComponents int
+	// GateSerial and GateParallel count the adaptive work gate's
+	// decisions on multi-component batches when Workers > 1: batches
+	// solved inline because they carried too little (or too lopsided)
+	// allocator work to repay a pool dispatch, versus batches fanned
+	// across the worker pool. Serial engines leave both zero.
+	GateSerial   int
+	GateParallel int
+	// Windows is how many PDES windows the windowed event loop
+	// (Config.Window > 1) executed; zero otherwise. Each window spans
+	// WindowInstants/Windows event instants and WindowEvents/Windows
+	// completion events on average — the cross-time parallelism the
+	// workload exposes beyond same-instant batching.
+	Windows int
+	// WindowInstants is the total event instants absorbed across all
+	// windows; MaxWindowInstants the widest single window in instants.
+	WindowInstants    int
+	MaxWindowInstants int
+	// WindowEvents is the total completion events collected across all
+	// windows; MaxWindowEvents the most in one window.
+	WindowEvents    int
+	MaxWindowEvents int
+	// WindowComponents is the total disjoint components solved across
+	// all windows; MaxWindowComponents the most in one window's single
+	// cross-instant solve dispatch.
+	WindowComponents    int
+	MaxWindowComponents int
+	// WindowConflicts counts windows cut short by the safety bound —
+	// an instant whose component overlapped one already claimed by an
+	// earlier instant in the same window.
+	WindowConflicts int
 	// AllocIters is the allocator's total internal iterations (price
 	// updates, gradient steps, solver iterations) when the allocator
 	// counts them (implements fluid.IterCounter); zero otherwise.
@@ -335,10 +393,14 @@ type compRange struct{ f0, f1, g0, g1 int }
 // evOp is one deferred completion-event resplice — a flow or group
 // whose rate change requires invalidating and re-pushing its heap
 // event. Ops are produced by the (possibly parallel) solve phase and
-// applied by the (possibly parallel) per-shard resplice phase.
+// applied by the (possibly parallel) per-shard resplice phase. t is
+// the virtual time the rate was installed at — always the engine's
+// now in the instant-batched loop, but a window's components solve at
+// their own instants, so the op must carry its base time along.
 type evOp struct {
 	f *fluid.Flow  // nil for group ops
 	g *fluid.Group // nil for flow ops
+	t float64
 }
 
 // compResult is one component's solve outcome: the resplice ops it
@@ -361,6 +423,18 @@ type Engine struct {
 	subW    []fluid.SubsetAllocator
 	workers int
 	sweep   int
+	// window is the configured PDES window depth (instants per
+	// window); 1 keeps the instant-batched loop.
+	window int
+	// pool is the persistent worker pool (nil when serial): parked
+	// goroutines woken per dispatch instead of spawned per batch. The
+	// dispatch closures below are bound once at construction so a
+	// steady-state batch allocates nothing.
+	pool         *pool
+	taskSolve    func(w, oi int)
+	taskFlood    func(w, ti int)
+	taskResplice func(w, ti int)
+	taskGather   func(w, di int)
 
 	now      float64
 	pending  []*fluid.Flow // arrival order; pending[next:] not yet admitted
@@ -440,6 +514,10 @@ type Engine struct {
 	compRes    []compResult
 	compOrder  []int
 	ratesArena []float64
+	// compTime[ci] is the virtual time component ci solves at: always
+	// the engine's now in the instant-batched loop, per-instant inside
+	// a window.
+	compTime []float64
 	// shardOps/shardList scatter a batch's resplice ops by home shard
 	// for the parallel phase; globalOps is the global mode's one-shot
 	// op buffer.
@@ -453,9 +531,33 @@ type Engine struct {
 	// buffers of the parallel event gather.
 	floodBufs   []floodBuf
 	floodShards []int
+	// impureSeeds holds a batch's shard-spanning seeds; the two-phase
+	// parallel flood grows their (necessarily shard-impure) components
+	// serially before the per-shard workers run, so the shard floods
+	// can skip everything those components absorbed.
+	impureSeeds []*fluid.Flow
 	shardEv     [][]event
 	dueShards   []int
 	mergedEv    []event
+	// gatherT/gatherSlack parameterize the pre-bound taskGather (the
+	// pool task funcs take only indices, so per-dispatch scalars ride
+	// on the engine).
+	gatherT     float64
+	gatherSlack float64
+	// floodAbort latches a per-shard flood escaping its shard during
+	// the parallel flood's phase 2 (the aborted shards redo serially).
+	floodAbort atomic.Bool
+
+	// Window (PDES) state — see window.go. winLink/winGroup stamp the
+	// links and groups claimed by the current window's earlier
+	// instants with winSeq; winTasks is the collected instant list and
+	// winBuf the trial-flood scratch.
+	winSeq   int32
+	winLink  []int32
+	winGroup []int32
+	winTasks []winTask
+	winEv    []event
+	winBuf   floodBuf
 
 	nextID      int
 	nextGroupID int
@@ -472,6 +574,17 @@ type Engine struct {
 	maxBatch      int
 	parSolves     int
 	maxConcurrent int
+	gateSerial    int
+	gateParallel  int
+
+	windows      int
+	winInstants  int
+	maxInstants  int
+	winEvents    int
+	maxWinEvents int
+	winComps     int
+	maxWinComps  int
+	winConflicts int
 
 	// Observability hooks (nil = disabled; see Config.Obs). The tracer
 	// routes worker w's solve spans to track w+1; track 0 carries the
@@ -493,11 +606,14 @@ func NewEngine(net *fluid.Network, cfg Config) *Engine {
 		global:   cfg.Global || !ok,
 		workers:  cfg.Workers,
 		sweep:    cfg.SweepThreshold,
+		window:   cfg.Window,
 	}
 	if e.global {
 		// A global re-solve is one component spanning everything:
-		// nothing to parallelize, nothing to shard.
+		// nothing to parallelize, nothing to shard — and a window can
+		// never grow past one instant, so windowing is moot too.
 		e.workers = 1
+		e.window = 1
 	} else {
 		e.linkFlows = make([][]*fluid.Flow, net.Links())
 		e.linkMark = make([]int, net.Links())
@@ -568,6 +684,61 @@ func NewEngine(net *fluid.Network, cfg Config) *Engine {
 	e.shardOps = make([][]evOp, nsh)
 	e.floodBufs = make([]floodBuf, nsh)
 	e.shardEv = make([][]event, nsh)
+	if e.window > 1 {
+		e.winLink = make([]int32, net.Links())
+	}
+	if e.workers > 1 {
+		e.pool = newPool(e.workers-1, e)
+		// Bind the dispatch tasks once: pool.run keeps no closure per
+		// batch, so the steady-state hot loop allocates nothing.
+		e.taskSolve = func(w, oi int) {
+			ci := e.compOrder[oi]
+			if e.tracer != nil {
+				start := e.tracer.Clock()
+				e.solveComponent(e.subW[w], ci)
+				r := e.comps[ci]
+				e.tracer.Span(w+1, "solve", start, int64(r.f1-r.f0))
+				return
+			}
+			e.solveComponent(e.subW[w], ci)
+		}
+		e.taskFlood = func(_, ti int) {
+			fb := &e.floodBufs[e.floodShards[ti]]
+			for _, f := range fb.seeds {
+				if f.Done() || e.fs[f.ID].bits&inCompBit != 0 {
+					continue
+				}
+				if !e.floodComponent(f, int(e.fshard[f.ID]), fb) {
+					fb.aborted = true
+					e.floodAbort.Store(true)
+					return
+				}
+			}
+		}
+		e.taskResplice = func(_, ti int) {
+			for _, op := range e.shardOps[e.shardList[ti]] {
+				e.applyOp(op)
+			}
+		}
+		e.taskGather = func(_, di int) {
+			s := e.dueShards[di]
+			buf := e.shardEv[s][:0]
+			h := &e.heaps[s]
+			for h.len() > 0 {
+				ev := h.top()
+				if e.staleEv[s] > 0 && !e.valid(ev) {
+					h.pop()
+					e.staleEv[s]--
+					continue
+				}
+				if ev.t > e.gatherT+e.gatherSlack {
+					break
+				}
+				buf = append(buf, h.pop())
+			}
+			e.shardEv[s] = buf
+		}
+	}
 	e.prof = cfg.Obs.Profiler
 	e.prog = cfg.Obs.Progress
 	e.metrics = cfg.Obs.Metrics
@@ -647,6 +818,16 @@ func (e *Engine) Stats() Stats {
 		MaxBatchComponents:      e.maxBatch,
 		ParallelSolves:          e.parSolves,
 		MaxConcurrentComponents: e.maxConcurrent,
+		GateSerial:              e.gateSerial,
+		GateParallel:            e.gateParallel,
+		Windows:                 e.windows,
+		WindowInstants:          e.winInstants,
+		MaxWindowInstants:       e.maxInstants,
+		WindowEvents:            e.winEvents,
+		MaxWindowEvents:         e.maxWinEvents,
+		WindowComponents:        e.winComps,
+		MaxWindowComponents:     e.maxWinComps,
+		WindowConflicts:         e.winConflicts,
 	}
 	if ic, ok := e.alloc.(fluid.IterCounter); ok {
 		s.AllocIters = ic.SolveIters()
@@ -681,6 +862,9 @@ func (e *Engine) AddGroup(paths [][]int, u core.Utility, sizeBytes int64, at flo
 	g := fluid.NewGroup(e.nextGroupID, u, sizeBytes, at)
 	e.nextGroupID++
 	e.gs = append(e.gs, groupState{})
+	if e.window > 1 {
+		e.winGroup = append(grow(e.winGroup), 0)
+	}
 	for _, links := range paths {
 		g.AddMember(e.AddFlow(links, u, 0, at))
 	}
@@ -758,7 +942,7 @@ func (e *Engine) admitIsolated(f *fluid.Flow) {
 	e.fs[f.ID].refT = e.now
 	e.elided++
 	if f.SizeBytes > 0 && f.Rate > 0 {
-		e.pushFlowEvent(f)
+		e.pushFlowEvent(f, e.now)
 	}
 }
 
@@ -900,25 +1084,30 @@ func (e *Engine) collectComponents() []compRange {
 // their purity shard and one worker per touched shard grows that
 // shard's components — race-free because a shard-restricted flood
 // only visits shard-pure flows, links, and groups, which are disjoint
-// across shards by construction. It reports false without collecting
-// when the batch cannot shard (an impure seed, a flood escaping its
-// shard, or fewer than two touched shards); the caller then runs the
-// serial flood. The component SET is identical either way — only the
-// collection order differs, which nothing downstream depends on.
+// across shards by construction. Shard-impure seeds no longer defeat
+// it: their (necessarily shard-spanning) components are grown by a
+// serial unrestricted pre-pass, whose inCompBit marks the shard
+// workers then skip — an unrestricted BFS exhausts its whole
+// component, so any pure flow adjacent to it is already collected and
+// no shard flood can partially re-collect it. A shard flood that
+// itself escapes its shard (reaching an impure flow or group the
+// pre-pass didn't absorb) aborts just that shard; its partial marks
+// are cleared and its seeds redone serially after the workers join —
+// symmetric reasoning applies: a SUCCESSFUL shard flood's components
+// never span shards, so the redo floods cannot overlap them. It
+// reports false without collecting only when fewer than two shards
+// are seeded (nothing to parallelize); the caller then runs the
+// serial flood. The component SET is identical on every path — only
+// the collection order differs, which nothing downstream depends on.
 func (e *Engine) collectComponentsParallel() bool {
 	touched := e.floodShards[:0]
-	defer func() { e.floodShards = touched[:0] }()
-	reset := func() {
-		for _, s := range touched {
-			e.floodBufs[s].seeds = e.floodBufs[s].seeds[:0]
-		}
-	}
+	impure := e.impureSeeds[:0]
 	for _, f := range e.touched {
 		e.fs[f.ID].bits &^= seededBit
 		s := e.fshard[f.ID]
 		if s < 0 {
-			reset()
-			return false
+			impure = append(impure, f)
+			continue
 		}
 		fb := &e.floodBufs[s]
 		if len(fb.seeds) == 0 {
@@ -926,58 +1115,85 @@ func (e *Engine) collectComponentsParallel() bool {
 		}
 		fb.seeds = append(fb.seeds, f)
 	}
+	e.impureSeeds = impure[:0]
 	if len(touched) < 2 {
-		reset()
+		for _, s := range touched {
+			e.floodBufs[s].seeds = e.floodBufs[s].seeds[:0]
+		}
+		e.floodShards = touched[:0]
+		// Re-mark the seeds so the serial fallback reruns them all.
+		for _, f := range e.touched {
+			e.fs[f.ID].bits |= seededBit
+		}
 		return false
 	}
-	var aborted atomic.Bool
+
+	// Phase 1: grow the impure seeds' components serially and
+	// unrestricted, straight into the output (their inCompBit marks
+	// make the shard workers skip anything they absorbed).
+	e.comp = e.comp[:0]
+	e.compG = e.compG[:0]
+	e.comps = e.comps[:0]
+	out := floodBuf{comp: e.comp, compG: e.compG, comps: e.comps}
+	for _, f := range impure {
+		if f.Done() || e.fs[f.ID].bits&inCompBit != 0 {
+			continue
+		}
+		e.floodComponent(f, -1, &out)
+	}
+
+	// Phase 2: one worker per seeded shard.
+	e.floodAbort.Store(false)
+	e.floodShards = touched
 	workers := e.workers
 	if workers > len(touched) {
 		workers = len(touched)
 	}
-	runWorkers(workers, len(touched), func(_, ti int) {
-		fb := &e.floodBufs[touched[ti]]
+	for _, s := range touched {
+		fb := &e.floodBufs[s]
 		fb.comp = fb.comp[:0]
 		fb.compG = fb.compG[:0]
 		fb.comps = fb.comps[:0]
-		for _, f := range fb.seeds {
-			if f.Done() || e.fs[f.ID].bits&inCompBit != 0 {
-				continue
-			}
-			if !e.floodComponent(f, int(e.fshard[f.ID]), fb) {
-				aborted.Store(true)
-				return
-			}
-		}
-	})
-	if aborted.Load() {
-		// Abandon the attempt: clear the visit bits the partial floods
-		// set (their rounds are already unique, so the link and group
-		// marks need no undo) and let the serial flood redo the batch.
+		fb.aborted = false
+	}
+	e.pool.run(workers, len(touched), e.taskFlood)
+
+	// Phase 3: concatenate the shard results in deterministic
+	// first-seed shard order, redoing any aborted shard's seeds
+	// serially (their partial marks cleared first, so the redo floods
+	// collect whole components; overlapping redos merge via inCompBit).
+	if e.floodAbort.Load() {
 		for _, s := range touched {
 			fb := &e.floodBufs[s]
-			for _, f := range fb.comp {
-				e.fs[f.ID].bits &^= inCompBit
+			if fb.aborted {
+				for _, f := range fb.comp {
+					e.fs[f.ID].bits &^= inCompBit
+				}
 			}
-			fb.seeds = fb.seeds[:0]
 		}
-		return false
 	}
-	// Concatenate the shard results, remapping ranges, in the
-	// deterministic first-seed shard order.
-	e.comp = e.comp[:0]
-	e.compG = e.compG[:0]
-	e.comps = e.comps[:0]
 	for _, s := range touched {
 		fb := &e.floodBufs[s]
-		off, goff := len(e.comp), len(e.compG)
-		e.comp = append(e.comp, fb.comp...)
-		e.compG = append(e.compG, fb.compG...)
+		if fb.aborted {
+			for _, f := range fb.seeds {
+				if f.Done() || e.fs[f.ID].bits&inCompBit != 0 {
+					continue
+				}
+				e.floodComponent(f, -1, &out)
+			}
+			fb.seeds = fb.seeds[:0]
+			continue
+		}
+		off, goff := len(out.comp), len(out.compG)
+		out.comp = append(out.comp, fb.comp...)
+		out.compG = append(out.compG, fb.compG...)
 		for _, r := range fb.comps {
-			e.comps = append(e.comps, compRange{r.f0 + off, r.f1 + off, r.g0 + goff, r.g1 + goff})
+			out.comps = append(out.comps, compRange{r.f0 + off, r.f1 + off, r.g0 + goff, r.g1 + goff})
 		}
 		fb.seeds = fb.seeds[:0]
 	}
+	e.comp, e.compG, e.comps = out.comp, out.compG, out.comps
+	e.floodShards = touched[:0]
 	e.touched = e.touched[:0]
 	for _, f := range e.comp {
 		e.fs[f.ID].bits &^= inCompBit
@@ -1027,16 +1243,18 @@ func (e *Engine) invalidateGroup(g *fluid.Group) {
 	s.bits = (s.bits + epInc) &^ evBit
 }
 
-func (e *Engine) pushFlowEvent(f *fluid.Flow) {
+// pushFlowEvent schedules f's completion from base time now — the
+// instant f's rate was installed (f.Remaining is materialized there).
+func (e *Engine) pushFlowEvent(f *fluid.Flow, now float64) {
 	s := &e.fs[f.ID]
 	s.bits |= evBit
-	e.heaps[e.flowShard(f)].push(event{t: e.now + f.Remaining*8/f.Rate, id: f.ID, ep: s.bits & epMask, f: f})
+	e.heaps[e.flowShard(f)].push(event{t: now + f.Remaining*8/f.Rate, id: f.ID, ep: s.bits & epMask, f: f})
 }
 
-func (e *Engine) pushGroupEvent(g *fluid.Group) {
+func (e *Engine) pushGroupEvent(g *fluid.Group, now float64) {
 	s := &e.gs[g.ID]
 	s.bits |= evBit
-	e.heaps[e.groupShard(g)].push(event{t: e.now + g.Remaining*8/g.Rate(), id: g.ID, ep: s.bits & epMask, g: g})
+	e.heaps[e.groupShard(g)].push(event{t: now + g.Remaining*8/g.Rate(), id: g.ID, ep: s.bits & epMask, g: g})
 }
 
 // valid reports whether a heap event is still live: its owner running
@@ -1091,7 +1309,7 @@ func (e *Engine) maybeCompact() {
 // existing event stands untouched, which is what keeps untouched
 // rates' schedules byte-stable across other components'
 // reallocations.
-func (e *Engine) preApplyFlow(f *fluid.Flow, rate float64) bool {
+func (e *Engine) preApplyFlow(f *fluid.Flow, rate, now float64) bool {
 	old := f.Rate
 	if f.SizeBytes == 0 {
 		f.Rate = rate
@@ -1104,12 +1322,12 @@ func (e *Engine) preApplyFlow(f *fluid.Flow, rate float64) bool {
 	if old > 0 {
 		// Materialize the lazy drain under the outgoing rate. A
 		// same-instant change (now == refT) drains exactly zero.
-		f.Remaining -= (e.now - s.refT) * old / 8
+		f.Remaining -= (now - s.refT) * old / 8
 		if f.Remaining < 0 {
 			f.Remaining = 0
 		}
 	}
-	s.refT = e.now
+	s.refT = now
 	f.Rate = rate
 	return true
 }
@@ -1122,21 +1340,13 @@ func (e *Engine) applyOp(op evOp) {
 	if op.f != nil {
 		e.invalidateFlow(op.f)
 		if op.f.Rate > 0 {
-			e.pushFlowEvent(op.f)
+			e.pushFlowEvent(op.f, op.t)
 		}
 		return
 	}
 	e.invalidateGroup(op.g)
 	if op.g.Rate() > 0 {
-		e.pushGroupEvent(op.g)
-	}
-}
-
-// applyFlowRate is preApplyFlow plus an immediate resplice — the
-// serial path for isolated arrivals and the global mode.
-func (e *Engine) applyFlowRate(f *fluid.Flow, rate float64) {
-	if e.preApplyFlow(f, rate) {
-		e.applyOp(evOp{f: f})
+		e.pushGroupEvent(op.g, op.t)
 	}
 }
 
@@ -1147,7 +1357,7 @@ func (e *Engine) applyFlowRate(f *fluid.Flow, rate float64) {
 // seededBit scratch — is private to the component, so components
 // pre-apply concurrently; only the recorded ops need the per-shard
 // resplice phase.
-func (e *Engine) preApply(flows []*fluid.Flow, groups []*fluid.Group, rates []float64, res *compResult) {
+func (e *Engine) preApply(flows []*fluid.Flow, groups []*fluid.Group, rates []float64, now float64, res *compResult) {
 	// Detect member-rate movement, then materialize the moved groups'
 	// lazy drain at their outgoing total, before any rate is installed.
 	for _, g := range groups {
@@ -1164,20 +1374,20 @@ func (e *Engine) preApply(flows []*fluid.Flow, groups []*fluid.Group, rates []fl
 		}
 		s := &e.gs[g.ID]
 		if total := g.Rate(); total > 0 {
-			g.Remaining -= (e.now - s.refT) * total / 8
+			g.Remaining -= (now - s.refT) * total / 8
 			if g.Remaining < 0 {
 				g.Remaining = 0
 			}
 		}
-		s.refT = e.now
+		s.refT = now
 	}
 	for i, f := range flows {
 		if f.Group != nil {
 			f.Rate = rates[i]
 			continue
 		}
-		if e.preApplyFlow(f, rates[i]) {
-			res.ops = append(res.ops, evOp{f: f})
+		if e.preApplyFlow(f, rates[i], now) {
+			res.ops = append(res.ops, evOp{f: f, t: now})
 		}
 	}
 	for _, g := range groups {
@@ -1189,7 +1399,7 @@ func (e *Engine) preApply(flows []*fluid.Flow, groups []*fluid.Group, rates []fl
 		if gb&seededBit == 0 && (gb&evBit != 0) == (total > 0) {
 			continue
 		}
-		res.ops = append(res.ops, evOp{g: g})
+		res.ops = append(res.ops, evOp{g: g, t: now})
 	}
 }
 
@@ -1199,6 +1409,7 @@ func (e *Engine) preApply(flows []*fluid.Flow, groups []*fluid.Group, rates []fl
 // components and workers.
 func (e *Engine) solveComponent(alloc fluid.SubsetAllocator, ci int) {
 	r := e.comps[ci]
+	now := e.compTime[ci]
 	res := &e.compRes[ci]
 	res.ops = res.ops[:0]
 	res.solved = 0
@@ -1208,15 +1419,15 @@ func (e *Engine) solveComponent(alloc fluid.SubsetAllocator, ci int) {
 		// takes its path's minimum capacity, the same independence
 		// elision its arrival fast path uses, generalized to
 		// departures that strand a lone neighbor.
-		if e.preApplyFlow(flows[0], e.pathMinCap(flows[0])) {
-			res.ops = append(res.ops, evOp{f: flows[0]})
+		if e.preApplyFlow(flows[0], e.pathMinCap(flows[0]), now) {
+			res.ops = append(res.ops, evOp{f: flows[0], t: now})
 		}
 		return
 	}
 	rates := e.ratesArena[r.f0:r.f1]
 	alloc.AllocateSubset(e.net, flows, rates)
 	res.solved = len(flows)
-	e.preApply(flows, e.compG[r.g0:r.g1], rates, res)
+	e.preApply(flows, e.compG[r.g0:r.g1], rates, now, res)
 }
 
 // reallocate re-solves the disjoint component(s) the pending seeds
@@ -1250,6 +1461,56 @@ func (e *Engine) reallocate() {
 	if e.prog != nil {
 		e.prog.RecordBatch(nc)
 	}
+	// Every component of an instant batch solves at the batch instant.
+	e.compTime = e.compTime[:0]
+	for ci := 0; ci < nc; ci++ {
+		e.compTime = append(grow(e.compTime), e.now)
+	}
+	e.solveBatch(nc)
+	if e.tracer != nil {
+		e.tracer.Span(0, "batch", batchStart, int64(nc))
+	}
+}
+
+// gateWorkers is the adaptive work gate: it bounds a batch's solve
+// workers by its component count and sends it inline entirely when the
+// batch carries too little solvable work to repay a pool dispatch —
+// or when it is so lopsided that all but one worker would idle behind
+// the largest component anyway. The gate is a pure function of the
+// batch, so a run's execution shape is deterministic for a fixed
+// Workers setting — and results are byte-identical regardless.
+func (e *Engine) gateWorkers(nc int) int {
+	workers := e.workers
+	if workers > nc {
+		workers = nc
+	}
+	if workers <= 1 {
+		return 1
+	}
+	solvable, largest := 0, 0
+	for _, r := range e.comps[:nc] {
+		if n := r.f1 - r.f0; n > 1 || r.g1 > r.g0 {
+			solvable += n
+			if n > largest {
+				largest = n
+			}
+		}
+	}
+	if solvable < parallelMinFlows || solvable-largest < parallelMinFlows/2 {
+		e.gateSerial++
+		return 1
+	}
+	e.gateParallel++
+	return workers
+}
+
+// solveBatch runs phases A and B over e.comps[:nc], each component at
+// its e.compTime instant: solve + pre-apply (concurrent when the gate
+// allows), reduce the outcomes, then resplice the moved completion
+// events per heap shard. Race-free by construction: components are
+// link- and flow-disjoint, and each shard's heap has exactly one
+// worker.
+func (e *Engine) solveBatch(nc int) {
 	if n := len(e.comp); cap(e.ratesArena) < n {
 		e.ratesArena = make([]float64, 2*n+64)
 	}
@@ -1258,25 +1519,8 @@ func (e *Engine) reallocate() {
 		e.compRes = append(e.compRes, make([]compResult, nc-len(e.compRes))...)
 	}
 
-	// Phase A: solve and pre-apply each component — concurrently when
-	// the batch is wide enough AND carries enough allocator work to
-	// repay the pool dispatch (tiny two-component batches solve faster
-	// inline than a goroutine wakeup costs). The gate is a pure
-	// function of the batch, so a run's solve sequence stays
-	// deterministic for a fixed Workers setting.
-	workers := e.workers
-	if workers > nc {
-		workers = nc
-	}
-	solvable := 0
-	for _, r := range e.comps {
-		if n := r.f1 - r.f0; n > 1 || r.g1 > r.g0 {
-			solvable += n
-		}
-	}
-	if workers > 1 && solvable < parallelMinFlows {
-		workers = 1
-	}
+	// Phase A: solve and pre-apply each component.
+	workers := e.gateWorkers(nc)
 	if workers > 1 {
 		if workers > e.maxConcurrent {
 			e.maxConcurrent = workers
@@ -1288,26 +1532,20 @@ func (e *Engine) reallocate() {
 		for ci := 0; ci < nc; ci++ {
 			order = append(order, ci)
 		}
-		sort.Slice(order, func(i, j int) bool {
-			si := e.comps[order[i]].f1 - e.comps[order[i]].f0
-			sj := e.comps[order[j]].f1 - e.comps[order[j]].f0
-			if si != sj {
-				return si > sj
+		// Insertion sort, stable on index: batches hold a handful of
+		// components, and sort.Slice would allocate per batch.
+		for i := 1; i < len(order); i++ {
+			ci := order[i]
+			si := e.comps[ci].f1 - e.comps[ci].f0
+			j := i - 1
+			for j >= 0 && e.comps[order[j]].f1-e.comps[order[j]].f0 < si {
+				order[j+1] = order[j]
+				j--
 			}
-			return order[i] < order[j]
-		})
+			order[j+1] = ci
+		}
 		e.compOrder = order
-		runWorkers(workers, nc, func(w, oi int) {
-			ci := order[oi]
-			if e.tracer != nil {
-				start := e.tracer.Clock()
-				e.solveComponent(e.subW[w], ci)
-				r := e.comps[ci]
-				e.tracer.Span(w+1, "solve", start, int64(r.f1-r.f0))
-				return
-			}
-			e.solveComponent(e.subW[w], ci)
-		})
+		e.pool.run(workers, nc, e.taskSolve)
 	} else {
 		for ci := 0; ci < nc; ci++ {
 			if e.tracer != nil {
@@ -1364,16 +1602,13 @@ func (e *Engine) reallocate() {
 	for _, s := range touched {
 		totalOps += len(e.shardOps[s])
 	}
+	e.shardList = touched
 	if parallel && len(touched) > 1 && totalOps >= parallelMinOps {
 		workers = e.workers
 		if workers > len(touched) {
 			workers = len(touched)
 		}
-		runWorkers(workers, len(touched), func(_, ti int) {
-			for _, op := range e.shardOps[touched[ti]] {
-				e.applyOp(op)
-			}
-		})
+		e.pool.run(workers, len(touched), e.taskResplice)
 	} else {
 		for _, s := range touched {
 			for _, op := range e.shardOps[s] {
@@ -1388,9 +1623,6 @@ func (e *Engine) reallocate() {
 	e.maybeCompact()
 	if e.prof != nil {
 		e.prof.Lap(obs.PhaseResplice)
-	}
-	if e.tracer != nil {
-		e.tracer.Span(0, "batch", batchStart, int64(nc))
 	}
 }
 
@@ -1409,7 +1641,7 @@ func (e *Engine) allocateGlobal() {
 		e.maxComp = n
 	}
 	e.globalOps.ops = e.globalOps.ops[:0]
-	e.preApply(e.active, e.activeGroups, rates, &e.globalOps)
+	e.preApply(e.active, e.activeGroups, rates, e.now, &e.globalOps)
 	for _, op := range e.globalOps.ops {
 		e.applyOp(op)
 	}
@@ -1526,32 +1758,18 @@ func (e *Engine) completeParallel(t, slack float64) (retired, handled bool) {
 			due = append(due, s)
 		}
 	}
-	e.dueShards = due[:0]
 	if len(due) < parallelGatherMinShards {
+		e.dueShards = due[:0]
 		return false, false
 	}
 	workers := e.workers
 	if workers > len(due) {
 		workers = len(due)
 	}
-	runWorkers(workers, len(due), func(_, di int) {
-		s := due[di]
-		buf := e.shardEv[s][:0]
-		h := &e.heaps[s]
-		for h.len() > 0 {
-			ev := h.top()
-			if e.staleEv[s] > 0 && !e.valid(ev) {
-				h.pop()
-				e.staleEv[s]--
-				continue
-			}
-			if ev.t > t+slack {
-				break
-			}
-			buf = append(buf, h.pop())
-		}
-		e.shardEv[s] = buf
-	})
+	e.dueShards = due
+	e.gatherT, e.gatherSlack = t, slack
+	e.pool.run(workers, len(due), e.taskGather)
+	e.dueShards = due[:0]
 	// Merge into the canonical retirement order. A k-way merge of the
 	// per-shard (already sorted) runs would do; a sort of the small
 	// gathered set is simpler and off the critical path.
@@ -1562,6 +1780,21 @@ func (e *Engine) completeParallel(t, slack float64) (retired, handled bool) {
 	return len(merged) > 0, true
 }
 
+// sortEvents insertion-sorts events into the canonical (time, id)
+// retirement order. Due sets are small and near-sorted (per-shard
+// runs), and sort.Slice would allocate on the hot path.
+func sortEvents(evs []event) {
+	for i := 1; i < len(evs); i++ {
+		ev := evs[i]
+		j := i - 1
+		for j >= 0 && ev.before(evs[j]) {
+			evs[j+1] = evs[j]
+			j--
+		}
+		evs[j+1] = ev
+	}
+}
+
 // gatherMerge concatenates the due shards' gathered events and sorts
 // them into the canonical heap order, reusing one engine-owned buffer.
 func (e *Engine) gatherMerge(due []int) []event {
@@ -1570,7 +1803,7 @@ func (e *Engine) gatherMerge(due []int) []event {
 		merged = append(merged, e.shardEv[s]...)
 		e.shardEv[s] = e.shardEv[s][:0]
 	}
-	sort.Slice(merged, func(i, j int) bool { return merged[i].before(merged[j]) })
+	sortEvents(merged)
 	e.mergedEv = merged
 	return merged
 }
@@ -1668,8 +1901,18 @@ func (e *Engine) compactActiveGroups() {
 // whether any further event can occur; false means the simulation has
 // reached a state that will never change again (no pending arrivals
 // and no finite flow draining — any remaining active flows are
-// unbounded and hold their current rates forever).
-func (e *Engine) Step() bool { return e.step(math.Inf(1)) }
+// unbounded and hold their current rates forever). A windowed engine
+// (Config.Window > 1) advances one whole window per Step.
+func (e *Engine) Step() bool { return e.advance(math.Inf(1)) }
+
+// advance is one loop iteration of Run: a PDES window when windowing
+// is on, a single event instant otherwise.
+func (e *Engine) advance(deadline float64) bool {
+	if e.window > 1 {
+		return e.windowStep(deadline)
+	}
+	return e.step(deadline)
+}
 
 // step is Step bounded by a deadline: if the next event lies beyond
 // it, time advances (and payloads drain) only to the deadline and no
@@ -1740,7 +1983,7 @@ func (e *Engine) Run(until float64) {
 		e.prof.Arm()
 	}
 	for e.now < until {
-		if !e.step(until) {
+		if !e.advance(until) {
 			return
 		}
 	}

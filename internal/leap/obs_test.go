@@ -45,6 +45,7 @@ func TestPhaseCoverage(t *testing.T) {
 		Workers:    4,
 		LinkShards: ft.LinkShards(),
 		Obs:        obs.Hooks{Profiler: prof},
+		forcePar:   true,
 	})
 	buildPodBursts(e, ft, false, 1)
 	start := time.Now()
@@ -141,6 +142,7 @@ func TestAllocIters(t *testing.T) {
 		return Config{
 			Allocator: &fluid.XWI{IterPerEpoch: 24, Tol: 1e-3},
 			Workers:   workers,
+			forcePar:  true,
 		}
 	}
 	se, _, _ := runDense(mk(1), 1)

@@ -16,8 +16,12 @@ func denseCaps() []float64 {
 }
 
 // runDense plays one dense random schedule to completion under cfg and
-// returns the engine plus its flows and groups.
+// returns the engine plus its flows and groups. Tests request real
+// parallelism regardless of the runner's core count (forcePar skips
+// the GOMAXPROCS clamp) so the machinery is exercised — and raced —
+// even on single-core CI.
 func runDense(cfg Config, seed uint64) (*Engine, []*fluid.Flow, []*fluid.Group) {
+	cfg.forcePar = true
 	e := NewEngine(fluid.NewNetwork(denseCaps()), cfg)
 	fs, gs := buildDenseSchedule(e, seed)
 	e.Run(math.Inf(1))
@@ -138,7 +142,7 @@ func TestBatchStats(t *testing.T) {
 			}
 		}
 	}
-	e := NewEngine(fluid.NewNetwork(caps), Config{Workers: 4})
+	e := NewEngine(fluid.NewNetwork(caps), Config{Workers: 4, forcePar: true})
 	build(e)
 	e.Run(math.Inf(1))
 	s := e.Stats()
@@ -225,7 +229,7 @@ func TestParallelFloodMatchesSerial(t *testing.T) {
 		for seed := uint64(1); seed <= 3; seed++ {
 			run := func(workers int) (*Engine, []*fluid.Flow) {
 				ft := fluid.NewFatTree(4, 10e9)
-				e := NewEngine(ft.Net, Config{Workers: workers, LinkShards: ft.LinkShards()})
+				e := NewEngine(ft.Net, Config{Workers: workers, LinkShards: ft.LinkShards(), forcePar: true})
 				fs := buildPodBursts(e, ft, interPod, seed)
 				e.Run(math.Inf(1))
 				return e, fs

@@ -1,0 +1,102 @@
+package leap
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// pool is the engine's persistent worker pool: size goroutines parked
+// on per-worker wake channels, woken per dispatch instead of spawned
+// per batch. A dispatch costs one channel send per woken worker and
+// one WaitGroup wait — no goroutine creation, no allocation — which is
+// what lets the adaptive gate afford parallelism on batches far
+// narrower than a spawn-per-batch pool could repay.
+//
+// run(nw, n, task) executes task(w, i) for every i in [0, n): the
+// caller participates as worker 0 and at most nw-1 parked workers are
+// woken, each claiming task indices from a shared atomic counter until
+// they run out. w is unique per goroutine within a dispatch, so
+// per-worker state (a subW solver view) is exclusive. task must be a
+// long-lived func value (the engine pre-binds its dispatch methods
+// once at construction); passing a fresh closure per batch would
+// allocate, which TestPoolSteadyStateAllocations pins against.
+//
+// Shutdown is automatic: parked workers reference only the pool, and
+// the engine's cleanup (runtime.AddCleanup) closes stop once the
+// engine becomes unreachable, so abandoned engines do not leak
+// goroutines.
+type pool struct {
+	wake []chan struct{}
+	stop chan struct{}
+
+	task func(w, i int)
+	n    int
+	next atomic.Int64
+	wg   sync.WaitGroup
+}
+
+// newPool starts size parked workers (the pool serves nw ≤ size+1
+// total workers per dispatch, the caller included) and registers a
+// cleanup on owner that releases them when owner is collected.
+func newPool(size int, owner *Engine) *pool {
+	p := &pool{
+		wake: make([]chan struct{}, size),
+		stop: make(chan struct{}),
+	}
+	for i := range p.wake {
+		p.wake[i] = make(chan struct{}, 1)
+		go p.park(i)
+	}
+	// The workers hold only *pool, so owner (the engine) stays
+	// collectable; its collection closes stop and the workers exit.
+	runtime.AddCleanup(owner, func(stop chan struct{}) { close(stop) }, p.stop)
+	return p
+}
+
+// park is one worker's life: wait for a wake, drain task indices as
+// worker id+1 (the caller is worker 0), signal completion, repeat.
+func (p *pool) park(id int) {
+	for {
+		select {
+		case <-p.wake[id]:
+			p.drain(id + 1)
+			p.wg.Done()
+		case <-p.stop:
+			return
+		}
+	}
+}
+
+// drain claims and runs task indices until none remain.
+func (p *pool) drain(w int) {
+	for {
+		i := int(p.next.Add(1)) - 1
+		if i >= p.n {
+			return
+		}
+		p.task(w, i)
+	}
+}
+
+// run dispatches n tasks across at most nw workers (caller included)
+// and blocks until every task has completed. The channel send to each
+// woken worker publishes task and n (happens-before); wg.Wait orders
+// every task's effects before run returns.
+func (p *pool) run(nw, n int, task func(w, i int)) {
+	p.task, p.n = task, n
+	p.next.Store(0)
+	k := nw - 1
+	if k > len(p.wake) {
+		k = len(p.wake)
+	}
+	p.wg.Add(k)
+	for i := 0; i < k; i++ {
+		p.wake[i] <- struct{}{}
+	}
+	p.drain(0)
+	p.wg.Wait()
+	// Drop the task reference so a parked pool never pins the engine
+	// its dispatch closures capture.
+	p.task = nil
+}

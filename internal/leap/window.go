@@ -1,0 +1,423 @@
+package leap
+
+import (
+	"math"
+	"sort"
+
+	"numfabric/internal/fluid"
+	"numfabric/internal/obs"
+)
+
+// This file is the conservative cross-time parallel event loop
+// (classic PDES windowing). The instant-batched loop in leap.go only
+// parallelizes events that share one timestamp; on unsynchronized
+// workloads almost every instant carries a single component and every
+// core but one idles. But the engine's independence argument is not
+// about time at all: completions and arrivals in link-disjoint
+// components COMMUTE, whatever their timestamps, because a
+// component's rates are a pure function of its own active set and its
+// payloads drain linearly from their own refT. So the windowed loop
+// pops events forward in virtual time — up to Config.Window distinct
+// instants — for as long as each new instant's components stay
+// link-disjoint from every component an earlier instant in the window
+// already touched (the safety bound: an instant that would touch a
+// claimed component conflicts, and the window ends just before it).
+// The whole window then solves as ONE wide batch on the worker pool,
+// each component at its own instant, and completions come out
+// byte-identical to the serial engine.
+//
+// The three-phase structure per window:
+//
+//  1. Collect (collectWindow): pop each next instant's due events and
+//     arrivals, trial-flood their components over the CURRENT link
+//     index, and test the flood against the window's claimed links
+//     and groups. No engine state changes besides the pops — a
+//     conflicting instant's events are pushed back unharmed.
+//  2. Replay (processWindow): for each collected instant in time
+//     order, retire its events, admit its arrivals, and flood its
+//     seeds into the window's component table, exactly as the serial
+//     loop would at that instant — retirement and admission touch
+//     only the instant's own component, which no other instant in the
+//     window shares.
+//  3. Solve: one solveBatch over the window's whole component table,
+//     each component solved and respliced at its own compTime.
+//
+// Solves can push a completion event EARLIER than instants the window
+// already processed (a departure freed capacity mid-window: the
+// "backfill" case). Such an event is processed by the next window at
+// its own timestamp — its component is link-disjoint from everything
+// processed after it this window (claimed components stay claimed to
+// the window's end), so the out-of-order retirement commutes and
+// every flow's finish time is still bit-exact. The engine's clock
+// stays monotonic (the window's end), while instants themselves may
+// briefly step backward. Two observable (and harmless) accounting
+// differences remain versus the serial engine: the ORDER of Finished()
+// across commuting completions can differ, and Events() can count one
+// more instant where a mid-window resplice lands a completion at a
+// time bit-equal to an instant the serial loop absorbs in one step.
+// Per-flow finish times, allocator solve counts, and solved-flow
+// totals are bit-exact invariants.
+
+// winTask is one collected instant: its virtual time, its due
+// completion events as a range into Engine.winEv (already in the
+// canonical (time, id) retirement order), and how many pending
+// arrivals it admits.
+type winTask struct {
+	t      float64
+	e0, e1 int
+	nArr   int
+}
+
+// windowStep advances one whole PDES window (or drains to the
+// deadline when the next instant lies beyond it). It reports whether
+// any further event can occur, exactly like step.
+func (e *Engine) windowStep(deadline float64) bool {
+	if e.prof != nil {
+		e.prof.Lap(obs.PhaseLoop)
+	}
+	e.collectWindow(deadline)
+	if e.prof != nil {
+		e.prof.Lap(obs.PhaseWindow)
+	}
+	if len(e.winTasks) == 0 {
+		tC := math.Inf(1)
+		if ev, _, ok := e.earliest(); ok {
+			tC = ev.t
+		}
+		tA := math.Inf(1)
+		if e.next < len(e.pending) {
+			tA = math.Max(e.pending[e.next].Arrive, e.now)
+		}
+		if math.IsInf(tC, 1) && math.IsInf(tA, 1) {
+			return false
+		}
+		// The next instant lies beyond the deadline: drain to it.
+		e.materialize(deadline)
+		e.now = deadline
+		if e.prof != nil {
+			e.prof.Lap(obs.PhaseDrain)
+		}
+		return true
+	}
+	e.processWindow()
+	if e.prog != nil {
+		e.prog.Record(e.now, int64(e.events), e.liveActive(), len(e.finished))
+	}
+	return true
+}
+
+// collectWindow gathers the next window's instants into e.winTasks:
+// each instant's due completion events are popped off the heaps into
+// e.winEv and its arrivals counted (but not admitted — replay admits
+// them at their instant). An instant whose trial-flooded components
+// overlap a link or group claimed by an earlier instant of this
+// window conflicts: its events go back on the heaps and the window
+// ends before it. The first instant can never conflict, so a
+// non-empty collection always makes progress.
+func (e *Engine) collectWindow(deadline float64) {
+	e.winTasks = e.winTasks[:0]
+	e.winEv = e.winEv[:0]
+	e.winSeq++
+	if e.unsorted {
+		rest := e.pending[e.next:]
+		sort.SliceStable(rest, func(i, j int) bool { return rest[i].Arrive < rest[j].Arrive })
+		e.unsorted = false
+	}
+	na := e.next
+	for len(e.winTasks) < e.window {
+		tC := math.Inf(1)
+		if ev, _, ok := e.earliest(); ok {
+			tC = ev.t
+		}
+		tA := math.Inf(1)
+		if na < len(e.pending) {
+			// A late-scheduled arrival (Arrive ≤ now) is admitted at
+			// the current clock, exactly as the serial loop's clamp
+			// does. Completions, by contrast, fire at their exact
+			// times even when a previous window's solve backfilled
+			// them before the clock — that is the windowed loop's
+			// whole point.
+			tA = math.Max(e.pending[na].Arrive, e.now)
+		}
+		t := math.Min(tC, tA)
+		if math.IsInf(t, 1) || t > deadline {
+			break
+		}
+		// Pop the instant's due events per shard and merge them into
+		// the canonical (time, id) retirement order — the same order
+		// the serial completion loop pops.
+		slack := 1e-12 * (1 + math.Abs(t))
+		e0 := len(e.winEv)
+		for s := range e.heaps {
+			h := &e.heaps[s]
+			for h.len() > 0 {
+				ev := h.top()
+				if e.staleEv[s] > 0 && !e.valid(ev) {
+					h.pop()
+					e.staleEv[s]--
+					continue
+				}
+				if ev.t > t+slack {
+					break
+				}
+				e.winEv = append(grow(e.winEv), h.pop())
+			}
+		}
+		evs := e.winEv[e0:]
+		sortEvents(evs)
+		a0 := na
+		// Same clamp as tA above: a late-scheduled arrival joins the
+		// first instant at or after the current clock, never a
+		// backfill instant behind it.
+		for na < len(e.pending) && math.Max(e.pending[na].Arrive, e.now) <= t {
+			na++
+		}
+		if len(e.winTasks) > 0 && !e.claimInstant(evs, e.pending[a0:na]) {
+			// Safety bound hit: restore the pops and close the window.
+			for _, ev := range evs {
+				if ev.f != nil {
+					e.heaps[e.flowShard(ev.f)].push(ev)
+				} else {
+					e.heaps[e.groupShard(ev.g)].push(ev)
+				}
+			}
+			e.winEv = e.winEv[:e0]
+			na = a0
+			e.winConflicts++
+			break
+		}
+		if len(e.winTasks) == 0 {
+			// First instant: claims recorded, conflict impossible.
+			e.claimInstant(evs, e.pending[a0:na])
+		}
+		e.winTasks = append(grow(e.winTasks), winTask{t: t, e0: e0, e1: len(e.winEv), nArr: na - a0})
+	}
+	// Clear the trial floods' visited marks; claims (winSeq stamps)
+	// expire on their own when the next window bumps winSeq.
+	wb := &e.winBuf
+	for _, f := range wb.comp {
+		e.fs[f.ID].bits &^= inCompBit
+	}
+	wb.comp = wb.comp[:0]
+	wb.compG = wb.compG[:0]
+	wb.comps = wb.comps[:0]
+}
+
+// claimInstant trial-floods one instant's seeds (due events' flows
+// and its arrivals) over the current link-sharing graph, reports
+// whether the instant is claim-free, and — when it is — claims every
+// link and group its components touch for the rest of the window.
+// The trial floods are conservative: they run before any retirement,
+// so a component can only be a superset of what replay will actually
+// flood, and a spurious conflict merely ends the window early (never
+// wrongly extends it). Conflicts cannot be missed: a seed absorbed by
+// an earlier instant's flood has all its links claimed (a trial flood
+// visits every link of every flow it collects), and a flood can only
+// reach claimed territory across a link some collected flow crosses —
+// which the claim scan below checks.
+func (e *Engine) claimInstant(events []event, arrivals []*fluid.Flow) bool {
+	wb := &e.winBuf
+	f0, g0 := len(wb.comp), len(wb.compG)
+	flood := func(f *fluid.Flow) {
+		if f.Done() || e.fs[f.ID].bits&inCompBit != 0 {
+			return
+		}
+		e.floodComponent(f, -1, wb)
+	}
+	for _, ev := range events {
+		if ev.f != nil {
+			flood(ev.f)
+			continue
+		}
+		for _, m := range ev.g.Members {
+			if !m.Done() {
+				flood(m)
+				break
+			}
+		}
+	}
+	for _, f := range arrivals {
+		flood(f)
+	}
+	claimed := func(f *fluid.Flow) bool {
+		for _, l := range f.Links {
+			if e.winLink[l] == e.winSeq {
+				return true
+			}
+		}
+		return false
+	}
+	// Seeds absorbed by an earlier instant (marked before this call)
+	// are not in wb.comp[f0:]; their claims are checked directly.
+	for _, ev := range events {
+		if ev.f != nil {
+			if claimed(ev.f) {
+				return false
+			}
+			continue
+		}
+		if e.winGroup[ev.g.ID] == e.winSeq {
+			return false
+		}
+		for _, m := range ev.g.Members {
+			if claimed(m) {
+				return false
+			}
+		}
+	}
+	for _, f := range wb.comp[f0:] {
+		if claimed(f) {
+			return false
+		}
+	}
+	for _, g := range wb.compG[g0:] {
+		if e.winGroup[g.ID] == e.winSeq {
+			return false
+		}
+	}
+	for _, f := range wb.comp[f0:] {
+		for _, l := range f.Links {
+			e.winLink[l] = e.winSeq
+		}
+	}
+	for _, g := range wb.compG[g0:] {
+		e.winGroup[g.ID] = e.winSeq
+	}
+	return true
+}
+
+// processWindow replays the collected instants in time order —
+// retire, admit, flood, exactly the serial per-instant sequence —
+// accumulating every instant's components into one table, then solves
+// and resplices them all in a single (gated, possibly parallel)
+// solveBatch, each component at its own instant.
+func (e *Engine) processWindow() {
+	var batchStart int64
+	if e.tracer != nil {
+		batchStart = e.tracer.Clock()
+	}
+	prevNow := e.now
+	e.comps = e.comps[:0]
+	e.comp = e.comp[:0]
+	e.compG = e.compG[:0]
+	e.compTime = e.compTime[:0]
+	winEvents := 0
+	for _, task := range e.winTasks {
+		e.now = task.t
+		for _, ev := range e.winEv[task.e0:task.e1] {
+			e.retireEvent(ev)
+		}
+		winEvents += task.e1 - task.e0
+		if e.prof != nil {
+			e.prof.Lap(obs.PhaseComplete)
+		}
+		if task.nArr > 0 {
+			// Only instants the collection assigned arrivals to admit:
+			// a backfill instant runs with the clock behind a
+			// late-scheduled arrival's admission instant, and admitDue
+			// compares raw Arrive against the clock.
+			e.admitDue()
+			if e.prof != nil {
+				e.prof.Lap(obs.PhaseAdmit)
+			}
+		}
+		// Match the serial loop's event accounting: an arrival-only
+		// instant at the current clock is absorbed by admitDue without
+		// a step of its own (the serial loop admits it at the top of
+		// the step that advances to the NEXT instant).
+		if task.e1 > task.e0 || task.t > prevNow {
+			e.events++
+			if e.metrics != nil {
+				e.metrics.Events.Inc()
+			}
+		}
+		if len(e.touched) > 0 {
+			nc0 := len(e.comps)
+			e.floodInstant(task.t)
+			if added := len(e.comps) - nc0; added > 0 {
+				e.fullSolve += e.liveActive()
+				e.batches++
+				e.batchComps += added
+				if added > e.maxBatch {
+					e.maxBatch = added
+				}
+				if e.metrics != nil {
+					e.metrics.BatchComponents.Observe(float64(added))
+				}
+				if e.prog != nil {
+					e.prog.RecordBatch(added)
+				}
+			}
+			if e.prof != nil {
+				e.prof.Lap(obs.PhaseFlood)
+			}
+		}
+	}
+	// The clock is the window's end — monotonic even when a backfill
+	// instant briefly stepped it backward during replay.
+	if e.now < prevNow {
+		e.now = prevNow
+	}
+	nc := len(e.comps)
+	if nc > 0 {
+		e.solveBatch(nc)
+	}
+	if 2*e.nDone >= len(e.active) {
+		e.compactActive()
+	}
+	if 2*e.nDoneG >= len(e.activeGroups) {
+		e.compactActiveGroups()
+	}
+	e.windows++
+	e.winInstants += len(e.winTasks)
+	if len(e.winTasks) > e.maxInstants {
+		e.maxInstants = len(e.winTasks)
+	}
+	e.winEvents += winEvents
+	if winEvents > e.maxWinEvents {
+		e.maxWinEvents = winEvents
+	}
+	e.winComps += nc
+	if nc > e.maxWinComps {
+		e.maxWinComps = nc
+	}
+	if e.metrics != nil {
+		if e.metrics.WindowEvents != nil {
+			e.metrics.WindowEvents.Observe(float64(winEvents))
+		}
+		if e.metrics.WindowComponents != nil {
+			e.metrics.WindowComponents.Observe(float64(nc))
+		}
+	}
+	if e.tracer != nil {
+		e.tracer.Span(0, "window", batchStart, int64(nc))
+	}
+}
+
+// floodInstant grows the pending seeds' components at instant t,
+// APPENDING to the window's component table (unlike
+// collectComponents, which owns the table for exactly one instant).
+// Cross-instant overlap is impossible — the collection's claims ended
+// the window before any instant that could share a component — so
+// each instant's floods see only virgin flows.
+func (e *Engine) floodInstant(t float64) {
+	for _, f := range e.touched {
+		e.fs[f.ID].bits &^= seededBit
+	}
+	f0 := len(e.comp)
+	fb := floodBuf{comp: e.comp, compG: e.compG, comps: e.comps}
+	for _, f := range e.touched {
+		if f.Done() || e.fs[f.ID].bits&inCompBit != 0 {
+			continue
+		}
+		e.floodComponent(f, -1, &fb)
+	}
+	e.comp, e.compG, e.comps = fb.comp, fb.compG, fb.comps
+	e.touched = e.touched[:0]
+	for _, f := range e.comp[f0:] {
+		e.fs[f.ID].bits &^= inCompBit
+	}
+	for len(e.compTime) < len(e.comps) {
+		e.compTime = append(grow(e.compTime), t)
+	}
+}

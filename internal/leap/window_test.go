@@ -1,0 +1,393 @@
+package leap
+
+import (
+	"math"
+	"os"
+	"runtime"
+	"strconv"
+	"testing"
+
+	"numfabric/internal/core"
+	"numfabric/internal/fluid"
+)
+
+// envInt reads an integer environment override. The CI race matrix
+// pins one (workers, window) cell per job via LEAP_TEST_WORKERS and
+// LEAP_TEST_WINDOW so each job races a single configuration instead
+// of the full grid.
+func envInt(t *testing.T, name string) (int, bool) {
+	t.Helper()
+	s := os.Getenv(name)
+	if s == "" {
+		return 0, false
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		t.Fatalf("%s=%q is not an integer", name, s)
+	}
+	return v, true
+}
+
+// windowMatrix returns the (workers, window) grid the property tests
+// sweep, honoring the CI environment pins.
+func windowMatrix(t *testing.T) (workers, windows []int) {
+	workers = []int{1, 4}
+	windows = []int{2, 4, 16}
+	if w, ok := envInt(t, "LEAP_TEST_WORKERS"); ok {
+		workers = []int{w}
+	}
+	if w, ok := envInt(t, "LEAP_TEST_WINDOW"); ok {
+		windows = []int{w}
+	}
+	return workers, windows
+}
+
+// TestWindowedMatchesSerial is the cross-time property test: the dense
+// random schedules (simultaneous arrivals, colliding completions,
+// finite groups, heavy link sharing) played through PDES windows of
+// every depth in the matrix — serial and parallel — must produce
+// byte-identical completion times for every flow and group, and the
+// same event and solve counts, as the fully serial engine. The window
+// bound is a pure reordering of commuting work, so any disagreement is
+// a windowing bug (a missed conflict, a wrong instant, a clamp
+// violation), not float noise.
+func TestWindowedMatchesSerial(t *testing.T) {
+	workerSet, windowSet := windowMatrix(t)
+	for seed := uint64(1); seed <= 6; seed++ {
+		serial, sf, sg := runDense(Config{}, seed)
+		for _, w := range workerSet {
+			for _, win := range windowSet {
+				we, wf, wg := runDense(Config{Workers: w, Window: win}, seed)
+				assertSameCompletions(t, "windowed-vs-serial", seed, sf, sg, wf, wg)
+				ws, ss := we.Stats(), serial.Stats()
+				// Events can only grow under windowing (a resplice
+				// landing bit-equal to a collected instant splits what
+				// serial merges); the solves themselves are invariant.
+				if we.Events() < serial.Events() {
+					t.Errorf("seed %d workers %d window %d: events %d < serial %d",
+						seed, w, win, we.Events(), serial.Events())
+				}
+				if ws.Allocs != ss.Allocs || ws.SolvedFlows != ss.SolvedFlows {
+					t.Errorf("seed %d workers %d window %d: solve stats diverge: "+
+						"allocs %d/%d solved %d/%d",
+						seed, w, win, ws.Allocs, ss.Allocs, ws.SolvedFlows, ss.SolvedFlows)
+				}
+				if win > 1 && ws.Windows == 0 {
+					t.Errorf("seed %d workers %d window %d: windowed engine recorded no windows",
+						seed, w, win)
+				}
+			}
+		}
+	}
+}
+
+// TestWindowedFloodMatchesSerial plays the pod-burst fat-tree workload
+// (sharded links, groups, optional cross-shard impurities) through
+// windows — the windowed loop composed with the sharded parallel
+// flood and gather must still match the serial engine bitwise.
+func TestWindowedFloodMatchesSerial(t *testing.T) {
+	for _, interPod := range []bool{false, true} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			run := func(workers, window int) []*fluid.Flow {
+				ft := fluid.NewFatTree(4, 10e9)
+				e := NewEngine(ft.Net, Config{
+					Workers:    workers,
+					Window:     window,
+					LinkShards: ft.LinkShards(),
+					forcePar:   true,
+				})
+				fs := buildPodBursts(e, ft, interPod, seed)
+				e.Run(math.Inf(1))
+				return fs
+			}
+			sf := run(1, 1)
+			for _, window := range []int{4, 16} {
+				wf := run(4, window)
+				for i := range sf {
+					if sf[i].Finish != wf[i].Finish {
+						t.Fatalf("interPod=%v seed %d window %d flow %d: finish %v != serial %v",
+							interPod, seed, window, sf[i].ID, wf[i].Finish, sf[i].Finish)
+					}
+				}
+			}
+		}
+	}
+}
+
+// buildStaggered adds one flow per link with strictly increasing
+// arrival times and sizes long enough that no completion lands among
+// the arrivals: every instant is its own single-flow component, link-
+// disjoint from every other, so a window can absorb Config.Window of
+// them at full depth.
+func buildStaggered(e *Engine, links int) []*fluid.Flow {
+	var fs []*fluid.Flow
+	for i := 0; i < links; i++ {
+		size := int64(1+i%4) << 20
+		fs = append(fs, e.AddFlow([]int{i}, core.ProportionalFair(), size, float64(i)*10e-6))
+	}
+	return fs
+}
+
+// TestWindowReachesFullDepth: on the staggered link-disjoint workload
+// the window bound never binds, so collection must reach the
+// configured depth — the tentpole's reason to exist. The run must
+// still match the serial engine bitwise.
+func TestWindowReachesFullDepth(t *testing.T) {
+	const links, window = 16, 8
+	mk := func(cfg Config) (*Engine, []*fluid.Flow) {
+		e := NewEngine(fluid.NewNetwork(make16Caps(links)), cfg)
+		fs := buildStaggered(e, links)
+		e.Run(math.Inf(1))
+		return e, fs
+	}
+	_, sf := mk(Config{})
+	we, wf := mk(Config{Workers: 4, Window: window, forcePar: true})
+	for i := range sf {
+		if sf[i].Finish != wf[i].Finish {
+			t.Fatalf("flow %d: windowed finish %v != serial %v", i, wf[i].Finish, sf[i].Finish)
+		}
+	}
+	s := we.Stats()
+	if s.MaxWindowInstants != window {
+		t.Errorf("MaxWindowInstants = %d, want full depth %d (stats: %+v)",
+			s.MaxWindowInstants, window, s)
+	}
+	if s.WindowConflicts != 0 {
+		t.Errorf("disjoint workload hit %d window conflicts, want 0", s.WindowConflicts)
+	}
+}
+
+// TestWindowBatchesComponents: coupled flow pairs per link (so no
+// arrival rides the lone-flow fast path) make each instant a real
+// component — a window must accumulate several of them into one wide
+// solve batch, and still match the serial engine bitwise.
+func TestWindowBatchesComponents(t *testing.T) {
+	const links, window = 16, 8
+	mk := func(cfg Config) (*Engine, []*fluid.Flow) {
+		e := NewEngine(fluid.NewNetwork(make16Caps(links)), cfg)
+		var fs []*fluid.Flow
+		for i := 0; i < links; i++ {
+			fs = append(fs, e.AddFlow([]int{i}, core.ProportionalFair(),
+				int64(2+i%3)<<20, float64(i)*10e-6))
+			fs = append(fs, e.AddFlow([]int{i}, core.ProportionalFair(),
+				1<<20, float64(links+i)*10e-6))
+		}
+		e.Run(math.Inf(1))
+		return e, fs
+	}
+	_, sf := mk(Config{})
+	we, wf := mk(Config{Workers: 4, Window: window, forcePar: true})
+	for i := range sf {
+		if sf[i].Finish != wf[i].Finish {
+			t.Fatalf("flow %d: windowed finish %v != serial %v", i, wf[i].Finish, sf[i].Finish)
+		}
+	}
+	s := we.Stats()
+	if s.MaxWindowComponents < 2 {
+		t.Errorf("MaxWindowComponents = %d, want >= 2 (stats: %+v)", s.MaxWindowComponents, s)
+	}
+	if s.MaxWindowEvents < 2 {
+		t.Errorf("MaxWindowEvents = %d, want >= 2 (stats: %+v)", s.MaxWindowEvents, s)
+	}
+}
+
+func make16Caps(n int) []float64 {
+	caps := make([]float64, n)
+	for i := range caps {
+		caps[i] = 10e9
+	}
+	return caps
+}
+
+// TestWindowEdgeCases drives the window bound through its corner
+// geometries. Every case must match the serial engine bitwise; the
+// per-case checks pin the window telemetry the geometry implies.
+func TestWindowEdgeCases(t *testing.T) {
+	type result struct {
+		e  *Engine
+		fs []*fluid.Flow
+	}
+	play := func(cfg Config, build func(*Engine) []*fluid.Flow, until float64) result {
+		net := fluid.NewNetwork([]float64{10e9, 10e9, 10e9, 10e9})
+		e := NewEngine(net, cfg)
+		fs := build(e)
+		e.Run(until)
+		return result{e, fs}
+	}
+	compare := func(t *testing.T, s, w result) {
+		t.Helper()
+		for i := range s.fs {
+			// Bit equality: unfinished flows carry NaN finishes, which
+			// must match too (same flows unfinished in both runs).
+			if math.Float64bits(s.fs[i].Finish) != math.Float64bits(w.fs[i].Finish) {
+				t.Fatalf("flow %d: windowed finish %v != serial %v",
+					i, w.fs[i].Finish, s.fs[i].Finish)
+			}
+			if s.fs[i].Remaining != w.fs[i].Remaining {
+				t.Fatalf("flow %d: windowed remaining %v != serial %v",
+					i, w.fs[i].Remaining, s.fs[i].Remaining)
+			}
+		}
+	}
+
+	t.Run("zero-lookahead", func(t *testing.T) {
+		// Every flow shares one link: each instant's component claims
+		// the link, so the next instant always conflicts and windows
+		// degenerate to single instants — the serial loop in disguise.
+		build := func(e *Engine) []*fluid.Flow {
+			var fs []*fluid.Flow
+			for i := 0; i < 10; i++ {
+				fs = append(fs, e.AddFlow([]int{0}, core.ProportionalFair(),
+					int64(1+i)<<18, float64(i)*20e-6))
+			}
+			return fs
+		}
+		s := play(Config{}, build, math.Inf(1))
+		w := play(Config{Workers: 4, Window: 8, forcePar: true}, build, math.Inf(1))
+		compare(t, s, w)
+		ws := w.e.Stats()
+		if ws.MaxWindowInstants != 1 {
+			t.Errorf("all-shared workload widened a window to %d instants", ws.MaxWindowInstants)
+		}
+		if ws.WindowConflicts == 0 {
+			t.Errorf("all-shared workload recorded no window conflicts: %+v", ws)
+		}
+	})
+
+	t.Run("deadline-on-instant", func(t *testing.T) {
+		// The run deadline lands exactly on an event instant, then the
+		// run resumes to completion: the deadline cut must drain both
+		// engines to identical intermediate state (Remaining included)
+		// and the resumed halves must still agree.
+		build := func(e *Engine) []*fluid.Flow { return buildStaggered(e, 4) }
+		cut := 20e-6 // exactly the third staggered arrival
+		s := play(Config{}, build, cut)
+		w := play(Config{Workers: 2, Window: 8, forcePar: true}, build, cut)
+		compare(t, s, w)
+		s.e.Run(math.Inf(1))
+		w.e.Run(math.Inf(1))
+		compare(t, s, w)
+	})
+
+	t.Run("sharing-created-mid-window", func(t *testing.T) {
+		// A completion on link 0 is followed — within window reach — by
+		// an arrival spanning links {0,1}: the arrival's component
+		// touches the claimed link, so collection must split the window
+		// there instead of reordering dependent work.
+		build := func(e *Engine) []*fluid.Flow {
+			a := e.AddFlow([]int{0}, core.ProportionalFair(), 1<<18, 0) // finishes ~210µs
+			b := e.AddFlow([]int{1}, core.ProportionalFair(), 4<<20, 0) // long
+			c := e.AddFlow([]int{0, 1}, core.ProportionalFair(), 1<<20, 230e-6)
+			return []*fluid.Flow{a, b, c}
+		}
+		s := play(Config{}, build, math.Inf(1))
+		w := play(Config{Workers: 2, Window: 8, forcePar: true}, build, math.Inf(1))
+		compare(t, s, w)
+		if ws := w.e.Stats(); ws.WindowConflicts == 0 {
+			t.Errorf("dependent instants never conflicted: %+v", ws)
+		}
+	})
+
+	t.Run("empty-engine", func(t *testing.T) {
+		e := NewEngine(fluid.NewNetwork([]float64{10e9}), Config{Workers: 4, Window: 8, forcePar: true})
+		if e.Step() {
+			t.Error("empty windowed engine claims progress")
+		}
+		e.Run(math.Inf(1))
+		if s := e.Stats(); s.Windows != 0 || s.Events != 0 {
+			t.Errorf("empty engine recorded work: %+v", s)
+		}
+	})
+
+	t.Run("global-ignores-window", func(t *testing.T) {
+		build := func(e *Engine) []*fluid.Flow { return buildStaggered(e, 4) }
+		g := play(Config{Global: true}, build, math.Inf(1))
+		gw := play(Config{Global: true, Workers: 4, Window: 8}, build, math.Inf(1))
+		compare(t, g, gw)
+		if s := gw.e.Stats(); s.Windows != 0 {
+			t.Errorf("global engine ran %d PDES windows", s.Windows)
+		}
+	})
+
+	t.Run("window-one-is-serial-loop", func(t *testing.T) {
+		build := func(e *Engine) []*fluid.Flow { return buildStaggered(e, 4) }
+		s := play(Config{}, build, math.Inf(1))
+		w := play(Config{Workers: 4, Window: 1, forcePar: true}, build, math.Inf(1))
+		compare(t, s, w)
+		if ws := w.e.Stats(); ws.Windows != 0 {
+			t.Errorf("Window: 1 engine ran %d PDES windows", ws.Windows)
+		}
+	})
+}
+
+// TestWindowedSweepAndGlobalAB: windowing composed with the other
+// equivalence knobs (sweep threshold extremes) stays bit-identical on
+// the dense schedule — the knobs must commute.
+func TestWindowedSweepAndGlobalAB(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		_, sf, sg := runDense(Config{}, seed)
+		_, af, ag := runDense(Config{Workers: 4, Window: 8, SweepThreshold: 1}, seed)
+		assertSameCompletions(t, "window-sweep1", seed, sf, sg, af, ag)
+		_, bf, bg := runDense(Config{Workers: 4, Window: 8, SweepThreshold: 1 << 30}, seed)
+		assertSameCompletions(t, "window-sweepinf", seed, sf, sg, bf, bg)
+	}
+}
+
+// burstAllocs plays repeated synchronized four-link bursts — every
+// batch wide enough to clear the parallel gate — and returns heap
+// allocations per event over the second (warm) half of the run.
+func burstAllocs(t *testing.T, cfg Config) float64 {
+	t.Helper()
+	net := fluid.NewNetwork([]float64{10e9, 10e9, 10e9, 10e9})
+	e := NewEngine(net, cfg)
+	// Per-link bytes per round (~100KB) drain well inside dt, so the
+	// active set stays bounded and the run is linear in rounds.
+	const rounds = 200
+	dt := 200e-6
+	for q := 0; q < rounds; q++ {
+		at := float64(q) * dt
+		for l := 0; l < 4; l++ {
+			for i := 0; i < 20; i++ {
+				e.AddFlow([]int{l}, core.ProportionalFair(), int64(1+i%4)<<11, at)
+			}
+		}
+	}
+	e.Run(float64(rounds/2) * dt)
+	before := e.Events()
+
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	e.Run(math.Inf(1))
+	runtime.ReadMemStats(&m1)
+
+	events := e.Events() - before
+	if events <= 0 {
+		t.Fatal("warm half processed no events")
+	}
+	if s := e.Stats(); cfg.Workers > 1 && s.ParallelSolves == 0 {
+		t.Fatalf("burst workload never engaged the worker pool: %+v", s)
+	}
+	return float64(m1.Mallocs-m0.Mallocs) / float64(events)
+}
+
+// TestPoolSteadyStateAllocations pins the persistent worker pool's
+// zero-allocation contract: once the engine is warm, dispatching
+// batches to the pool — windowed or not — must allocate essentially
+// nothing per event (no per-batch goroutines, closures, or sort
+// scratch).
+func TestPoolSteadyStateAllocations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation accounting is slow under -short")
+	}
+	if serial := burstAllocs(t, Config{}); serial > 0.1 {
+		t.Errorf("serial: %.3f allocs/event, want ~0", serial)
+	}
+	par := Config{Workers: 4, forcePar: true}
+	if pooled := burstAllocs(t, par); pooled > 0.1 {
+		t.Errorf("pool: %.3f allocs/event, want ~0", pooled)
+	}
+	win := Config{Workers: 4, Window: 8, forcePar: true}
+	if windowed := burstAllocs(t, win); windowed > 0.1 {
+		t.Errorf("windowed pool: %.3f allocs/event, want ~0", windowed)
+	}
+}

@@ -31,12 +31,17 @@ const (
 	// PhaseDrain is horizon payload materialization — realizing the
 	// lazy drains when a finite deadline cuts a run short.
 	PhaseDrain
+	// PhaseWindow is PDES window collection: popping events forward in
+	// virtual time, trial-flooding their components, and testing the
+	// link-disjointness safety bound (windowed engines only).
+	PhaseWindow
 	// PhaseCount is the number of phases.
 	PhaseCount
 )
 
 var phaseNames = [PhaseCount]string{
 	"loop", "admit", "flood", "solve", "resplice", "complete", "drain",
+	"window",
 }
 
 // PhaseName returns the short lower-case name of a phase ("solve",

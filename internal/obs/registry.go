@@ -182,6 +182,11 @@ type EngineMetrics struct {
 	BatchComponents *Histogram
 	// ComponentFlows observes each solved component's flow count.
 	ComponentFlows *Histogram
+	// WindowEvents and WindowComponents observe each PDES window's
+	// width — completion events absorbed and disjoint components
+	// solved per window (windowed engines only; see leap.Config.Window).
+	WindowEvents     *Histogram
+	WindowComponents *Histogram
 }
 
 // NewEngineMetrics creates (or reuses) the engine instruments in r
@@ -193,5 +198,8 @@ func NewEngineMetrics(r *Registry, prefix string) *EngineMetrics {
 		SolvedFlows:     r.Counter(prefix + ".solved_flows"),
 		BatchComponents: r.Histogram(prefix + ".batch_components"),
 		ComponentFlows:  r.Histogram(prefix + ".component_flows"),
+
+		WindowEvents:     r.Histogram(prefix + ".window_events"),
+		WindowComponents: r.Histogram(prefix + ".window_components"),
 	}
 }
