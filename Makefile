@@ -1,6 +1,6 @@
 # Convenience targets; CI runs the same commands.
 
-.PHONY: test race leap-race-matrix fuzz bench-smoke bench-json
+.PHONY: test race leap-race-matrix fuzz bench-smoke bench-json flowtrace-smoke
 
 test:
 	go build ./... && go test ./...
@@ -32,3 +32,11 @@ bench-smoke:
 # window matrix, FCT-checked against serial).
 bench-json:
 	go run ./cmd/benchjson -out BENCH_leap.json -repeat 3
+
+# End-to-end flow-tracing smoke: a windowed leapfct run writing a
+# flow-lifecycle trace, analyzed by flowreport (CI's obs-smoke job
+# runs the same pair plus live endpoint scrapes).
+flowtrace-smoke:
+	go run ./cmd/numfabric -experiment leapfct -workers 4 -window 8 \
+		-flowtrace-out /tmp/flowtrace.jsonl
+	go run ./cmd/flowreport /tmp/flowtrace.jsonl

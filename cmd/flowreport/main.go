@@ -1,0 +1,302 @@
+// Command flowreport analyzes a flow-lifecycle trace written by
+// -flowtrace-out (obs.FlowTracer.WriteJSONL): the slowest flows, where
+// the tail lost its service time (per-bottleneck-link attribution),
+// and per-link utilization. It is the offline counterpart of the live
+// /flows and /links debug endpoints — point it at the JSONL file a run
+// left behind.
+//
+// Usage:
+//
+//	go run ./cmd/flowreport [-top N] [-tail frac] [-csv out.csv] trace.jsonl
+//
+// -top bounds the slow-flow table; -tail sets the slowest fraction of
+// finished flows whose lost service the attribution table aggregates
+// (1 aggregates every finished flow in the trace); -csv additionally
+// writes the per-link table as CSV. Exit status is 0 when the file
+// parses and contains at least a summary line, 1 otherwise.
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// The line types mirror the JSONL schema obs.FlowTracer.WriteJSONL
+// emits; unknown fields are ignored so the reader stays compatible
+// across schema growth.
+
+type lineHeader struct {
+	Type string `json:"type"`
+}
+
+type summaryLine struct {
+	Tracked    uint64  `json:"tracked"`
+	Active     int     `json:"active"`
+	Completed  uint64  `json:"completed"`
+	Kept       int     `json:"kept"`
+	Reservoir  int     `json:"reservoir"`
+	Dropped    uint64  `json:"dropped"`
+	SampleRate float64 `json:"sample_rate"`
+	SlowestK   int     `json:"slowest_k"`
+}
+
+type linkLoss struct {
+	Link        int     `json:"link"`
+	Name        string  `json:"name"`
+	LostSeconds float64 `json:"lost_seconds"`
+	Share       float64 `json:"share"`
+}
+
+type flowLine struct {
+	ID        int        `json:"id"`
+	SizeBytes int64      `json:"size_bytes"`
+	Arrive    float64    `json:"arrive"`
+	Finish    float64    `json:"finish"`
+	Finished  bool       `json:"finished"`
+	FCT       float64    `json:"fct"`
+	IdealFCT  float64    `json:"ideal_fct"`
+	Slowdown  float64    `json:"slowdown"`
+	Sampled   bool       `json:"sampled"`
+	Truncated int        `json:"truncated_segs"`
+	Lost      []linkLoss `json:"lost"`
+	Segs      []json.RawMessage
+}
+
+type linkLine struct {
+	Link        int     `json:"link"`
+	Name        string  `json:"name"`
+	Capacity    float64 `json:"capacity"`
+	AvgUtil     float64 `json:"avg_util"`
+	PeakUtil    float64 `json:"peak_util"`
+	FlowSeconds float64 `json:"flow_seconds"`
+}
+
+func main() {
+	top := flag.Int("top", 10, "slow flows listed in the top table")
+	tail := flag.Float64("tail", 0.01, "slowest fraction of finished flows aggregated in the attribution table (1 = all)")
+	csvOut := flag.String("csv", "", "also write the per-link attribution table as CSV to this path")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: flowreport [-top N] [-tail frac] [-csv out.csv] trace.jsonl")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flowreport:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	var (
+		summary    *summaryLine
+		flows      []flowLine
+		links      []linkLine
+		unfinished int
+	)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24) // flow lines carry full segment detail
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var h lineHeader
+		if err := json.Unmarshal(line, &h); err != nil {
+			fmt.Fprintf(os.Stderr, "flowreport: line %d: %v\n", lineNo, err)
+			os.Exit(1)
+		}
+		switch h.Type {
+		case "summary":
+			var s summaryLine
+			if err := json.Unmarshal(line, &s); err != nil {
+				fmt.Fprintf(os.Stderr, "flowreport: line %d: %v\n", lineNo, err)
+				os.Exit(1)
+			}
+			summary = &s
+		case "flow":
+			var fl flowLine
+			if err := json.Unmarshal(line, &fl); err != nil {
+				fmt.Fprintf(os.Stderr, "flowreport: line %d: %v\n", lineNo, err)
+				os.Exit(1)
+			}
+			if fl.Finished {
+				flows = append(flows, fl)
+			} else {
+				unfinished++
+			}
+		case "link":
+			var ll linkLine
+			if err := json.Unmarshal(line, &ll); err != nil {
+				fmt.Fprintf(os.Stderr, "flowreport: line %d: %v\n", lineNo, err)
+				os.Exit(1)
+			}
+			links = append(links, ll)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "flowreport:", err)
+		os.Exit(1)
+	}
+	if summary == nil {
+		fmt.Fprintln(os.Stderr, "flowreport: no summary line — not a -flowtrace-out file?")
+		os.Exit(1)
+	}
+
+	fmt.Printf("flow trace: %d tracked, %d completed, %d kept + %d reservoir (sample %g, slowest-%d)",
+		summary.Tracked, summary.Completed, summary.Kept, summary.Reservoir,
+		summary.SampleRate, summary.SlowestK)
+	if unfinished > 0 {
+		fmt.Printf(", %d still active", unfinished)
+	}
+	fmt.Println()
+
+	sort.Slice(flows, func(i, j int) bool {
+		if flows[i].Slowdown != flows[j].Slowdown {
+			return flows[i].Slowdown > flows[j].Slowdown
+		}
+		return flows[i].ID < flows[j].ID
+	})
+
+	if len(flows) > 0 {
+		fmt.Printf("\nslowest flows (of %d finished in trace):\n", len(flows))
+		fmt.Printf("%10s %12s %14s %14s %10s  %s\n",
+			"flow", "bytes", "fct_s", "ideal_s", "slowdown", "worst bottleneck")
+		for i, fl := range flows {
+			if i == *top {
+				break
+			}
+			worst := "-"
+			if len(fl.Lost) > 0 {
+				w := fl.Lost[0]
+				for _, l := range fl.Lost[1:] {
+					if l.LostSeconds > w.LostSeconds {
+						w = l
+					}
+				}
+				worst = fmt.Sprintf("%.0f%% %s", 100*w.Share, nameOf(w.Name, w.Link))
+			}
+			fmt.Printf("%10d %12d %14.6g %14.6g %9.1fx  %s\n",
+				fl.ID, fl.SizeBytes, fl.FCT, fl.IdealFCT, fl.Slowdown, worst)
+		}
+	}
+
+	// Tail attribution: lost service of the slowest -tail fraction,
+	// grouped by bottleneck link.
+	n := len(flows)
+	if *tail > 0 && *tail < 1 {
+		if n = int(math.Ceil(*tail * float64(len(flows)))); n < 1 {
+			n = 1
+		}
+		if n > len(flows) {
+			n = len(flows)
+		}
+	}
+	type agg struct {
+		name  string
+		lost  float64
+		flows int
+	}
+	byLink := map[int]*agg{}
+	var total float64
+	for _, fl := range flows[:n] {
+		for _, l := range fl.Lost {
+			a := byLink[l.Link]
+			if a == nil {
+				a = &agg{name: l.Name}
+				byLink[l.Link] = a
+			}
+			a.lost += l.LostSeconds
+			a.flows++
+			total += l.LostSeconds
+		}
+	}
+	utilOf := map[int]linkLine{}
+	for _, ll := range links {
+		utilOf[ll.Link] = ll
+	}
+	ids := make([]int, 0, len(byLink))
+	for l := range byLink {
+		ids = append(ids, l)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		a, b := byLink[ids[i]], byLink[ids[j]]
+		if a.lost != b.lost {
+			return a.lost > b.lost
+		}
+		return ids[i] < ids[j]
+	})
+
+	if len(ids) > 0 {
+		fmt.Printf("\nslowdown attribution, slowest %d of %d finished flows (lost service by bottleneck link):\n", n, len(flows))
+		fmt.Printf("%-28s %14s %7s %7s %9s %9s\n",
+			"link", "lost_s", "share", "flows", "avg_util", "peak_util")
+		for _, l := range ids {
+			a := byLink[l]
+			share := 0.0
+			if total > 0 {
+				share = a.lost / total
+			}
+			u, hasU := utilOf[l]
+			util, peak := "-", "-"
+			if hasU {
+				util = fmt.Sprintf("%8.1f%%", 100*u.AvgUtil)
+				peak = fmt.Sprintf("%8.1f%%", 100*u.PeakUtil)
+			}
+			fmt.Printf("%-28s %14.6g %6.1f%% %7d %9s %9s\n",
+				nameOf(a.name, l), a.lost, 100*share, a.flows, util, peak)
+		}
+	}
+
+	if *csvOut != "" {
+		cf, err := os.Create(*csvOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flowreport:", err)
+			os.Exit(1)
+		}
+		cw := csv.NewWriter(cf)
+		_ = cw.Write([]string{"link", "name", "lost_seconds", "share", "flows", "avg_util", "peak_util", "flow_seconds"})
+		for _, l := range ids {
+			a := byLink[l]
+			share := 0.0
+			if total > 0 {
+				share = a.lost / total
+			}
+			u := utilOf[l]
+			_ = cw.Write([]string{
+				strconv.Itoa(l), a.name,
+				fmt.Sprintf("%g", a.lost), fmt.Sprintf("%g", share),
+				strconv.Itoa(a.flows),
+				fmt.Sprintf("%g", u.AvgUtil), fmt.Sprintf("%g", u.PeakUtil),
+				fmt.Sprintf("%g", u.FlowSeconds),
+			})
+		}
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			fmt.Fprintln(os.Stderr, "flowreport:", err)
+			os.Exit(1)
+		}
+		if err := cf.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "flowreport:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s (%d links)\n", *csvOut, len(ids))
+	}
+}
+
+// nameOf formats a link label, falling back to the numeric id.
+func nameOf(name string, link int) string {
+	if name != "" {
+		return name
+	}
+	return fmt.Sprintf("link %d", link)
+}

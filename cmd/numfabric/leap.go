@@ -46,7 +46,13 @@ func runLeapFCT(full bool, seed uint64) {
 		"window", "windows", "window_instants", "max_window_instants", "window_conflicts",
 		"gate_serial", "gate_parallel",
 		"admit_ns", "flood_ns", "solve_ns", "resplice_ns", "complete_ns", "drain_ns", "loop_ns",
-		"window_ns")
+		"window_ns",
+		"p99_norm_fct", "tail_flows", "tail_link", "tail_link_share")
+	// The flow tracer behind the slowdown-attribution lines: the
+	// CLI-level one when -flowtrace-out/-debug-addr asked for it (reset
+	// per load, so /flows and the JSONL export reflect the current —
+	// finally the last — load), a private sampled tracer otherwise.
+	tracer := cliObs.FlowTrace
 	for _, load := range loads {
 		arrivals, paths := harness.FatTreeWebSearch(ft, load, nflows, sim.NewRNG(seed))
 		// Each load gets a fresh phase profiler (so its breakdown covers
@@ -54,6 +60,13 @@ func runLeapFCT(full bool, seed uint64) {
 		// hooks are shared across the sweep.
 		hooks := cliObs
 		hooks.Profiler = obs.NewPhaseProfiler()
+		if tracer != nil {
+			tracer.Reset()
+		} else {
+			tracer = obs.NewFlowTracer(obs.FlowTraceConfig{SampleRate: 0.01})
+		}
+		tracer.SetLinkName(ft.LinkName)
+		hooks.FlowTrace = tracer
 		eng := leap.NewEngine(ft.Net, leap.Config{
 			Allocator:  harness.LeapAllocatorFor(cfg),
 			Workers:    nworkers,
@@ -99,6 +112,24 @@ func runLeapFCT(full bool, seed uint64) {
 			batchW, s.ParallelSolves, winW, s.WindowConflicts,
 			pct(obs.PhaseFlood), pct(obs.PhaseSolve), pct(obs.PhaseComplete),
 			elapsed.Round(time.Millisecond))
+		// Tail-latency attribution: where the slowest 1% of traced flows
+		// lost their service time, by bottleneck link. The slowest-K
+		// reservoir guarantees the true tail is in the trace even at low
+		// sample rates.
+		p99 := stats.Percentile(norm, 0.99)
+		attr, tailN := tracer.SlowdownAttribution(0.01)
+		tailLink, tailShare := -1.0, 0.0
+		if len(attr) > 0 {
+			tailLink, tailShare = float64(attr[0].Link), attr[0].Share
+			line := fmt.Sprintf("       p99 slowdown %.1fx:", p99)
+			for i, ll := range attr {
+				if i == 3 {
+					break
+				}
+				line += fmt.Sprintf(" %.0f%% %s", 100*ll.Share, tracer.LinkNameOrIndex(ll.Link))
+			}
+			fmt.Printf("%s (lost service of the %d slowest traced flows)\n", line, tailN)
+		}
 		_ = tab.Append(load, med, p95, rate, float64(s.Events), float64(s.Allocs),
 			float64(s.SolvedFlows), float64(s.MaxComponent), float64(s.Elided), float64(s.FullSolveFlows),
 			float64(nworkers), float64(s.Batches), float64(s.ParallelSolves),
@@ -107,7 +138,8 @@ func runLeapFCT(full bool, seed uint64) {
 			float64(s.GateSerial), float64(s.GateParallel),
 			float64(ph[obs.PhaseAdmit]), float64(ph[obs.PhaseFlood]), float64(ph[obs.PhaseSolve]),
 			float64(ph[obs.PhaseResplice]), float64(ph[obs.PhaseComplete]), float64(ph[obs.PhaseDrain]),
-			float64(ph[obs.PhaseLoop]), float64(ph[obs.PhaseWindow]))
+			float64(ph[obs.PhaseLoop]), float64(ph[obs.PhaseWindow]),
+			p99, float64(tailN), tailLink, tailShare)
 	}
 	writeCSV("leapfct.csv", tab)
 }

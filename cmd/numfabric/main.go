@@ -105,6 +105,9 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /progress, /debug/pprof and /debug/vars on this address while experiments run (e.g. localhost:6060)")
 	debugHold := flag.Duration("debug-hold", 0, "keep the -debug-addr server alive this long after the experiments finish")
 	traceOut := flag.String("trace-out", "", "write a Chrome-trace (chrome://tracing / Perfetto) timeline of engine batches and per-worker component solves to this file")
+	ftOut := flag.String("flowtrace-out", "", "write a JSONL flow-lifecycle trace — sampled flow records with per-segment bottleneck links, per-link utilization, slowdown attribution; analyze with cmd/flowreport (leapfct writes the sweep's last load)")
+	ftSample := flag.Float64("flowtrace-sample", 0.01, "deterministic per-flow-id fraction of completions kept in the flow trace (1 = every flow; the slowest flows are kept regardless)")
+	ftSlowest := flag.Int("flowtrace-slowest", 64, "slowest-flow reservoir size for the flow trace: this many worst slowdowns are always kept, independent of sampling")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memprofile := flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	flag.Parse()
@@ -157,24 +160,32 @@ func main() {
 		}()
 	}
 
-	// The debug server and trace writer share one hook set: the server
-	// needs live metrics/progress, the trace file needs the span
-	// recorder, and an engine fed both costs nothing extra.
-	if *debugAddr != "" || *traceOut != "" {
+	// The debug server, trace writer, and flow tracer share one hook
+	// set: the server needs live metrics/progress (and serves /flows
+	// and /links off the same tracer the export writes), the trace file
+	// needs the span recorder, and an engine fed all of them costs
+	// nothing extra.
+	if *debugAddr != "" || *traceOut != "" || *ftOut != "" {
 		reg := obs.NewRegistry()
 		cliObs.Progress = &obs.Progress{}
 		cliObs.Metrics = obs.NewEngineMetrics(reg, "engine")
 		if *traceOut != "" {
 			cliObs.Tracer = obs.NewTracer()
 		}
+		if *ftOut != "" || *debugAddr != "" {
+			cliObs.FlowTrace = obs.NewFlowTracer(obs.FlowTraceConfig{
+				SampleRate: *ftSample,
+				SlowestK:   *ftSlowest,
+			})
+		}
 		if *debugAddr != "" {
-			ln, err := obs.Serve(*debugAddr, reg, cliObs.Progress)
+			ln, err := obs.Serve(*debugAddr, reg, cliObs.Progress, cliObs.FlowTrace)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 			defer ln.Close()
-			fmt.Printf("debug server on http://%s (/metrics, /progress, /debug/pprof)\n", ln.Addr())
+			fmt.Printf("debug server on http://%s (/metrics, /progress, /flows, /links, /debug/pprof)\n", ln.Addr())
 			if *debugHold > 0 {
 				defer func() {
 					fmt.Printf("holding debug server for %v\n", *debugHold)
@@ -190,6 +201,28 @@ func main() {
 					return
 				}
 				fmt.Printf("wrote %s (%d spans)\n", path, cliObs.Tracer.TotalSpans())
+			}()
+		}
+		if *ftOut != "" {
+			path := *ftOut
+			defer func() {
+				f, err := os.Create(path)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return
+				}
+				if err := cliObs.FlowTrace.WriteJSONL(f); err != nil {
+					f.Close()
+					fmt.Fprintln(os.Stderr, err)
+					return
+				}
+				if err := f.Close(); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					return
+				}
+				s := cliObs.FlowTrace.Summary()
+				fmt.Printf("wrote %s (%d flows tracked, %d kept + %d reservoir)\n",
+					path, s.Tracked, s.Kept, s.Reservoir)
 			}()
 		}
 	}

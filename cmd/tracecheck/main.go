@@ -2,10 +2,13 @@
 // -trace-out (obs.Tracer.WriteFile): it checks the JSON parses, the
 // events carry the fields chrome://tracing and Perfetto require, and
 // the spans the leap engine is supposed to emit — per-worker component
-// "solve" spans and per-batch "batch" spans — are actually present.
-// CI runs it against the smoke run's trace so a schema regression
-// fails the build instead of silently producing a file the viewers
-// reject.
+// "solve" spans and, per reallocation instant, "batch" spans (or
+// "window" spans when PDES windowing batches instants cross-time) —
+// are actually present and consistent: spans on one track must not
+// overlap (each track has a single writer), and the per-batch/window
+// component counts must sum to the solve-span count. CI runs it
+// against the smoke run's trace so a schema regression fails the
+// build instead of silently producing a file the viewers reject.
 //
 // Usage:
 //
@@ -78,6 +81,13 @@ func main() {
 	}
 	spans := map[string]int{}
 	threadNames := 0
+	dropped := false
+	// trackEnd tracks the latest span end seen per (pid, tid) so
+	// same-track spans can be checked for overlap; spans are exported
+	// in per-track append order, so file order is track order.
+	type trackKey struct{ pid, tid int }
+	trackEnd := map[trackKey]float64{}
+	var components int64
 	for i, ev := range tf.TraceEvents {
 		if ev.Name == "" {
 			fail("event %d: missing name", i)
@@ -93,9 +103,31 @@ func main() {
 				fail("event %d (%s): complete event without valid dur", i, ev.Name)
 			}
 			spans[ev.Name]++
+			if ev.Ts != nil && ev.Dur != nil {
+				// Each track has one writer, so its spans must be
+				// disjoint and in order (1e-3 µs of float-export slack).
+				k := trackKey{ev.Pid, ev.Tid}
+				if end, ok := trackEnd[k]; ok && *ev.Ts < end-1e-3 {
+					fail("event %d (%s): overlaps previous span on track %d/%d (ts %.3f < end %.3f)",
+						i, ev.Name, ev.Pid, ev.Tid, *ev.Ts, end)
+				}
+				if end := *ev.Ts + *ev.Dur; end > trackEnd[k] {
+					trackEnd[k] = end
+				}
+			}
+			if ev.Name == "batch" || ev.Name == "window" {
+				if c, ok := ev.Args["components"].(float64); ok {
+					components += int64(c)
+				} else {
+					fail("event %d (%s): missing components arg", i, ev.Name)
+				}
+			}
 		case "M":
 			if ev.Name == "thread_name" {
 				threadNames++
+			}
+			if ev.Name == "dropped_spans" {
+				dropped = true
 			}
 		case "":
 			fail("event %d (%s): missing ph", i, ev.Name)
@@ -104,15 +136,24 @@ func main() {
 	if spans["solve"] == 0 {
 		fail("%s: no component \"solve\" spans", path)
 	}
-	if spans["batch"] == 0 {
-		fail("%s: no reallocation \"batch\" spans", path)
+	// Instant-at-a-time runs emit one "batch" span per reallocation;
+	// PDES-windowed runs emit one "window" span per closed window
+	// instead. Either proves the engine's batching instrumented.
+	if spans["batch"] == 0 && spans["window"] == 0 {
+		fail("%s: no reallocation \"batch\" or PDES \"window\" spans", path)
+	}
+	// Every component a batch/window reports must have produced exactly
+	// one solve span (unless the per-track cap dropped spans).
+	if !dropped && components != int64(spans["solve"]) {
+		fail("%s: batch+window spans report %d components, but %d solve spans present",
+			path, components, spans["solve"])
 	}
 	if threadNames == 0 {
 		fail("%s: no thread_name metadata (tracks would be unlabeled)", path)
 	}
 	if !failed {
-		fmt.Printf("%s: %d events, %d solve spans, %d batch spans, %d named tracks\n",
-			path, len(tf.TraceEvents), spans["solve"], spans["batch"], threadNames)
+		fmt.Printf("%s: %d events, %d solve spans, %d batch spans, %d window spans, %d named tracks\n",
+			path, len(tf.TraceEvents), spans["solve"], spans["batch"], spans["window"], threadNames)
 	}
 
 	if *metrics != "" {

@@ -49,6 +49,22 @@ type IterCounter interface {
 	SolveIters() int64
 }
 
+// BottleneckReporter is implemented by allocators that can identify,
+// after a solve, each flow's binding link: the link on its path with
+// the least residual capacity under the solved rates. For the exact
+// max-min allocators this is the link whose saturation froze the flow
+// during progressive filling (slack 0 at the bottleneck); for the
+// price-dynamics allocators (XWI, DGD) it is the same min-slack
+// criterion over their possibly-transient rates. Callers must pass the
+// same link-closed flow set and rates the preceding solve produced,
+// and must not call concurrently with a solve on the same allocator
+// (the leap engine calls it from its serial reduce, after the parallel
+// component solves have completed). out receives one link id per flow,
+// ties broken to the first link on the path; -1 for an empty path.
+type BottleneckReporter interface {
+	Bottlenecks(net *Network, flows []*Flow, rates []float64, out []int32)
+}
+
 // iterCount is the shared iteration tally embedded in each allocator.
 // Like scratch.stamps it is a pointer so Worker views accumulate into
 // their parent's total; it is created lazily on the single-threaded
@@ -92,6 +108,10 @@ type scratch struct {
 	linkStamp []int
 	links     []int
 	linkRound int
+
+	// bload is the per-link load accumulator behind bottlenecks; like
+	// linkStamp it is link-indexed with only touched entries written.
+	bload []float64
 }
 
 // ensureStamps lazily creates the stamp source (single-threaded: the
@@ -146,6 +166,37 @@ func (s *scratch) collectLinks(nl int, flows []*Flow) []int {
 		}
 	}
 	return s.links
+}
+
+// bottlenecks implements BottleneckReporter for every allocator: with
+// the flow set link-closed, the subset's own rates are the entire load
+// on every link it crosses, so per-link residual capacity — and with
+// it each flow's min-slack binding link — is exact from the subset
+// alone.
+func (s *scratch) bottlenecks(net *Network, flows []*Flow, rates []float64, out []int32) {
+	nl := net.Links()
+	touched := s.collectLinks(nl, flows)
+	if cap(s.bload) < nl {
+		s.bload = make([]float64, nl)
+	}
+	load := s.bload[:nl]
+	for _, l := range touched {
+		load[l] = 0
+	}
+	for i, f := range flows {
+		for _, l := range f.Links {
+			load[l] += rates[i]
+		}
+	}
+	for i, f := range flows {
+		best, bestSlack := int32(-1), math.Inf(1)
+		for _, l := range f.Links {
+			if slack := net.Capacity[l] - load[l]; slack < bestSlack {
+				bestSlack, best = slack, int32(l)
+			}
+		}
+		out[i] = best
+	}
 }
 
 // groupShareFloor keeps a group member's weight share above zero so an
@@ -250,6 +301,11 @@ func (w *WaterFill) AllocateSubset(net *Network, flows []*Flow, rates []float64)
 	w.Allocate(net, flows, rates)
 }
 
+// Bottlenecks reports each flow's binding link under the given rates.
+func (w *WaterFill) Bottlenecks(net *Network, flows []*Flow, rates []float64, out []int32) {
+	w.s.bottlenecks(net, flows, rates, out)
+}
+
 // Reset is a no-op: WaterFill is stateless.
 func (w *WaterFill) Reset() {}
 
@@ -324,6 +380,11 @@ func (a *XWI) defaults() (eta, beta float64, iters int) {
 
 // Reset discards the link prices.
 func (a *XWI) Reset() { a.price = nil }
+
+// Bottlenecks reports each flow's binding link under the given rates.
+func (a *XWI) Bottlenecks(net *Network, flows []*Flow, rates []float64, out []int32) {
+	a.s.bottlenecks(net, flows, rates, out)
+}
 
 // Allocate advances the xWI dynamics by IterPerEpoch price updates and
 // returns the latest water-filling allocation.
@@ -486,6 +547,11 @@ func NewOracle() *Oracle { return &Oracle{} }
 // Reset discards the warm-start prices.
 func (o *Oracle) Reset() { o.prices = nil }
 
+// Bottlenecks reports each flow's binding link under the given rates.
+func (o *Oracle) Bottlenecks(net *Network, flows []*Flow, rates []float64, out []int32) {
+	o.s.bottlenecks(net, flows, rates, out)
+}
+
 // Stationary reports that the optimum is a pure function of the
 // active flow set.
 func (o *Oracle) Stationary() bool { return true }
@@ -567,6 +633,11 @@ func NewDGD() *DGD { return &DGD{Gamma: 0.2, IterPerEpoch: 1} }
 
 // Reset discards the link prices.
 func (a *DGD) Reset() { a.price = nil }
+
+// Bottlenecks reports each flow's binding link under the given rates.
+func (a *DGD) Bottlenecks(net *Network, flows []*Flow, rates []float64, out []int32) {
+	a.s.bottlenecks(net, flows, rates, out)
+}
 
 // Allocate advances the DGD dynamics and returns the (feasibility-
 // projected) rates.

@@ -1,6 +1,9 @@
 package fluid
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // FatTree is a k-ary fat-tree (Al-Fares et al.): k pods of k/2 edge
 // and k/2 aggregation switches, (k/2)² core switches, and k³/4 hosts,
@@ -21,6 +24,9 @@ type FatTree struct {
 	edgeDown [][][]int // [pod][agg][edge]: agg → edge
 	aggUp    [][][]int // [pod][agg][ci]:  agg → core a·half+ci
 	aggDown  [][][]int // [pod][agg][ci]:  core a·half+ci → agg
+
+	nameOnce sync.Once
+	names    []string // lazily built link-id → label table
 }
 
 // NewFatTree builds a k-ary fat-tree (k even, k ≥ 2) with every link
@@ -162,6 +168,44 @@ func (t *FatTree) LinkShards() []int {
 		}
 	}
 	return shard
+}
+
+// LinkName returns a human-readable label for a directed-link id —
+// "host[5]↑", "edge[2.1]→agg[2.0]", "agg[1.3]→core[13]" — for
+// attribution reports and trace exports. The label table is built
+// lazily on first use and is safe for concurrent readers.
+func (t *FatTree) LinkName(l int) string {
+	t.nameOnce.Do(t.buildNames)
+	if l < 0 || l >= len(t.names) {
+		return fmt.Sprintf("link %d", l)
+	}
+	return t.names[l]
+}
+
+func (t *FatTree) buildNames() {
+	half := t.K / 2
+	t.names = make([]string, t.Net.Links())
+	for h := range t.hostUp {
+		t.names[t.hostUp[h]] = fmt.Sprintf("host[%d]↑", h)
+		t.names[t.hostDown[h]] = fmt.Sprintf("host[%d]↓", h)
+	}
+	for p := 0; p < t.K; p++ {
+		for e := 0; e < half; e++ {
+			for a := 0; a < half; a++ {
+				t.names[t.edgeUp[p][e][a]] = fmt.Sprintf("edge[%d.%d]→agg[%d.%d]", p, e, p, a)
+			}
+		}
+		for a := 0; a < half; a++ {
+			for e := 0; e < half; e++ {
+				t.names[t.edgeDown[p][a][e]] = fmt.Sprintf("agg[%d.%d]→edge[%d.%d]", p, a, p, e)
+			}
+			for c := 0; c < half; c++ {
+				core := a*half + c
+				t.names[t.aggUp[p][a][c]] = fmt.Sprintf("agg[%d.%d]→core[%d]", p, a, core)
+				t.names[t.aggDown[p][a][c]] = fmt.Sprintf("core[%d]→agg[%d.%d]", core, p, a)
+			}
+		}
+	}
 }
 
 // PathCount returns the size of the ECMP path set between hosts src

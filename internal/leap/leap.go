@@ -593,6 +593,18 @@ type Engine struct {
 	tracer  *obs.Tracer
 	prog    *obs.Progress
 	metrics *obs.EngineMetrics
+
+	// Flow-lifecycle tracing (nil = disabled). Every ft call happens on
+	// the event-loop goroutine — admits, the serial reduce after the
+	// (possibly parallel) component solves, and retirements — so the
+	// tracer sees rate changes in deterministic order and the parallel
+	// phases stay untouched. bneckRep is the parent allocator's
+	// bottleneck reporter (nil when unsupported), safe to call from the
+	// serial reduce because no worker view is solving then; bneck is
+	// its reusable output scratch.
+	ft       *obs.FlowTracer
+	bneckRep fluid.BottleneckReporter
+	bneck    []int32
 }
 
 // NewEngine returns an event-driven engine over net.
@@ -750,6 +762,13 @@ func NewEngine(net *fluid.Network, cfg Config) *Engine {
 			tr.SetTrackName(w+1, fmt.Sprintf("worker %d", w))
 		}
 	}
+	if ft := cfg.Obs.FlowTrace; ft != nil {
+		e.ft = ft
+		ft.Bind(net.Capacity)
+		if br, ok := e.alloc.(fluid.BottleneckReporter); ok {
+			e.bneckRep = br
+		}
+	}
 	return e
 }
 
@@ -900,6 +919,9 @@ func (e *Engine) admitDue() {
 			e.inActive[g] = true
 			e.activeGroups = append(e.activeGroups, g)
 		}
+		if e.ft != nil && f.Group == nil && f.SizeBytes > 0 {
+			e.ft.Admit(f.ID, f.SizeBytes, f.Arrive, f.Links)
+		}
 		switch {
 		case iso:
 			e.admitIsolated(f)
@@ -943,6 +965,12 @@ func (e *Engine) admitIsolated(f *fluid.Flow) {
 	e.elided++
 	if f.SizeBytes > 0 && f.Rate > 0 {
 		e.pushFlowEvent(f, e.now)
+	}
+	if e.ft != nil {
+		// No solver ran: the flow takes its line rate, bottlenecked by
+		// the path's min-capacity link (the tracer's default).
+		e.ft.Rate(f.ID, e.now, f.Rate, -1, obs.CauseAdmit, 1,
+			uint64(e.batches), uint64(e.windows))
 	}
 }
 
@@ -1498,9 +1526,15 @@ func (e *Engine) gateWorkers(nc int) int {
 	}
 	if solvable < parallelMinFlows || solvable-largest < parallelMinFlows/2 {
 		e.gateSerial++
+		if e.prog != nil {
+			e.prog.RecordGate(false)
+		}
 		return 1
 	}
 	e.gateParallel++
+	if e.prog != nil {
+		e.prog.RecordGate(true)
+	}
 	return workers
 }
 
@@ -1582,6 +1616,9 @@ func (e *Engine) solveBatch(nc int) {
 		} else {
 			e.elided++
 		}
+		if e.ft != nil {
+			e.traceComponent(ci)
+		}
 		for _, op := range r.ops {
 			s := e.opShard(op)
 			if len(e.shardOps[s]) == 0 {
@@ -1626,6 +1663,50 @@ func (e *Engine) solveBatch(nc int) {
 	}
 }
 
+// traceComponent reports one component's solved rates to the flow
+// tracer, from the serial reduce (no worker is solving, so the parent
+// allocator's bottleneck scratch is free). Each plain finite flow gets
+// a rate segment stamped with the component size and the solve's
+// batch/window ordinals; group members and unbounded flows are
+// filtered by the tracer itself.
+func (e *Engine) traceComponent(ci int) {
+	cr := e.comps[ci]
+	now := e.compTime[ci]
+	flows := e.comp[cr.f0:cr.f1]
+	if e.compRes[ci].solved == 0 {
+		// Elided single-flow component: line rate, min-capacity
+		// bottleneck (the tracer's default for bneck < 0).
+		f := flows[0]
+		e.ft.Rate(f.ID, now, f.Rate, -1, obs.CauseSolve, 1,
+			uint64(e.batches), uint64(e.windows))
+		return
+	}
+	rates := e.ratesArena[cr.f0:cr.f1]
+	bn := e.bottlenecks(flows, rates)
+	for i, f := range flows {
+		e.ft.Rate(f.ID, now, rates[i], int(bn[i]), obs.CauseSolve, len(flows),
+			uint64(e.batches), uint64(e.windows))
+	}
+}
+
+// bottlenecks asks the parent allocator for each flow's binding link
+// under rates, into a reusable scratch; -1 throughout when the
+// allocator cannot report.
+func (e *Engine) bottlenecks(flows []*fluid.Flow, rates []float64) []int32 {
+	if cap(e.bneck) < len(flows) {
+		e.bneck = make([]int32, 2*len(flows)+16)
+	}
+	bn := e.bneck[:len(flows)]
+	if e.bneckRep != nil {
+		e.bneckRep.Bottlenecks(e.net, flows, rates, bn)
+	} else {
+		for i := range bn {
+			bn[i] = -1
+		}
+	}
+	return bn
+}
+
 // allocateGlobal re-solves the full active set (global mode).
 func (e *Engine) allocateGlobal() {
 	n := len(e.active)
@@ -1644,6 +1725,17 @@ func (e *Engine) allocateGlobal() {
 	e.preApply(e.active, e.activeGroups, rates, e.now, &e.globalOps)
 	for _, op := range e.globalOps.ops {
 		e.applyOp(op)
+	}
+	if e.ft != nil {
+		// Global mode has no batch counter; the allocation ordinal
+		// stands in. The full active set is trivially link-closed, so
+		// bottleneck loads are exact (group members included in load,
+		// filtered from tracing by the tracer).
+		bn := e.bottlenecks(e.active, rates)
+		for i, f := range e.active {
+			e.ft.Rate(f.ID, e.now, rates[i], int(bn[i]), obs.CauseSolve, n,
+				uint64(e.allocs), uint64(e.windows))
+		}
 	}
 	e.changed = false
 	e.maybeCompact()
@@ -1819,6 +1911,9 @@ func (e *Engine) retireEvent(ev event) {
 		f.Remaining = 0
 		e.finished = append(grow(e.finished), f)
 		e.nDone++
+		if e.ft != nil {
+			e.ft.Complete(f.ID, ev.t)
+		}
 		switch {
 		case e.global:
 			e.changed = true

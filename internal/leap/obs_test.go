@@ -19,6 +19,9 @@ func fullHooks() obs.Hooks {
 		Tracer:   obs.NewTracer(),
 		Progress: &obs.Progress{},
 		Metrics:  obs.NewEngineMetrics(reg, "leap"),
+		// Reservoir-only sampling: completed records recycle, so the
+		// steady-state allocation bound below covers tracing too.
+		FlowTrace: obs.NewFlowTracer(obs.FlowTraceConfig{SampleRate: 0}),
 	}
 }
 
@@ -205,6 +208,12 @@ func TestSteadyStateAllocations(t *testing.T) {
 	}
 	if off := steadyStateAllocs(t, obs.Hooks{}); off > 0.1 {
 		t.Errorf("obs disabled: %.3f allocs/event, want ~0", off)
+	}
+	// Everything except the flow tracer: the pre-tracing bound holds.
+	noFT := fullHooks()
+	noFT.FlowTrace = nil
+	if on := steadyStateAllocs(t, noFT); on > 1.0 {
+		t.Errorf("obs enabled, flowtrace off: %.3f allocs/event, want < 1", on)
 	}
 	if on := steadyStateAllocs(t, fullHooks()); on > 1.0 {
 		t.Errorf("obs enabled: %.3f allocs/event, want < 1", on)

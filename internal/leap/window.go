@@ -389,6 +389,9 @@ func (e *Engine) processWindow() {
 			e.metrics.WindowComponents.Observe(float64(nc))
 		}
 	}
+	if e.prog != nil {
+		e.prog.RecordWindows(e.windows, e.winInstants, e.winConflicts)
+	}
 	if e.tracer != nil {
 		e.tracer.Span(0, "window", batchStart, int64(nc))
 	}

@@ -24,6 +24,14 @@ type Progress struct {
 	finished  atomic.Int64
 	batches   atomic.Int64
 	batchW    atomic.Int64 // latest batch's component count
+
+	// PDES window totals (absolute engine counters, republished per
+	// window) and the adaptive gate's running decisions.
+	windows      atomic.Int64
+	winInstants  atomic.Int64
+	winConflicts atomic.Int64
+	gateSerial   atomic.Int64
+	gateParallel atomic.Int64
 }
 
 // Record publishes the engine's current position: virtual time
@@ -51,6 +59,30 @@ func (p *Progress) RecordBatch(components int) {
 	p.batchW.Store(int64(components))
 }
 
+// RecordWindows republishes the engine's PDES window totals: windows
+// closed, instants absorbed across them, and conflict-bounded pops.
+func (p *Progress) RecordWindows(windows, instants, conflicts int) {
+	if p == nil {
+		return
+	}
+	p.windows.Store(int64(windows))
+	p.winInstants.Store(int64(instants))
+	p.winConflicts.Store(int64(conflicts))
+}
+
+// RecordGate counts one adaptive-gate decision: parallel dispatch or
+// the serial fallback.
+func (p *Progress) RecordGate(parallel bool) {
+	if p == nil {
+		return
+	}
+	if parallel {
+		p.gateParallel.Add(1)
+	} else {
+		p.gateSerial.Add(1)
+	}
+}
+
 // ProgressSnapshot is the JSON payload of the /progress endpoint.
 type ProgressSnapshot struct {
 	// SimSeconds is the engine's virtual time in seconds.
@@ -67,6 +99,17 @@ type ProgressSnapshot struct {
 	Batches      int64   `json:"batches"`
 	// BatchComponents is the latest reallocation batch's width.
 	BatchComponents int64 `json:"batch_components"`
+	// Windows counts closed PDES windows; AvgWindow is the mean
+	// completion instants absorbed per window; WindowConflicts counts
+	// pops bounded by a link conflict (zero everywhere when windowing
+	// is off).
+	Windows         int64   `json:"windows"`
+	AvgWindow       float64 `json:"avg_window"`
+	WindowConflicts int64   `json:"window_conflicts"`
+	// GateSerial/GateParallel count the adaptive worker gate's
+	// decisions per solve batch.
+	GateSerial   int64 `json:"gate_serial"`
+	GateParallel int64 `json:"gate_parallel"`
 }
 
 // Snapshot captures the current progress with the run-wide average
@@ -82,6 +125,13 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 		Finished:        p.finished.Load(),
 		Batches:         p.batches.Load(),
 		BatchComponents: p.batchW.Load(),
+		Windows:         p.windows.Load(),
+		WindowConflicts: p.winConflicts.Load(),
+		GateSerial:      p.gateSerial.Load(),
+		GateParallel:    p.gateParallel.Load(),
+	}
+	if s.Windows > 0 {
+		s.AvgWindow = float64(p.winInstants.Load()) / float64(s.Windows)
 	}
 	start := p.startWall.Load()
 	if start != 0 {
@@ -94,10 +144,12 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 }
 
 // Handler builds the debug mux: net/http/pprof under /debug/pprof/,
-// expvar under /debug/vars, the registry snapshot at /metrics, and
-// the live engine position at /progress. reg and prog may be nil —
-// the endpoints then serve empty documents.
-func Handler(reg *Registry, prog *Progress) http.Handler {
+// expvar under /debug/vars, the registry snapshot at /metrics, the
+// live engine position at /progress, and — when a FlowTracer is
+// attached — the slow-flow attribution at /flows and per-link
+// utilization at /links. Any argument may be nil; the endpoints then
+// serve empty documents.
+func Handler(reg *Registry, prog *Progress, ft *FlowTracer) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -137,6 +189,35 @@ func Handler(reg *Registry, prog *Progress) http.Handler {
 		enc.Encode(s)
 	})
 
+	// /flows: slowest kept flows with per-link attribution; /links:
+	// per-link utilization/active-flow series. Both snapshot under the
+	// tracer's lock, safe against the live engine.
+	mux.HandleFunc("/flows", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if ft == nil {
+			fmt.Fprintln(w, "{}")
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(ft.FlowsSnapshotTop(flowsEndpointTop, flowsEndpointFrac))
+	})
+	mux.HandleFunc("/links", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if ft == nil {
+			fmt.Fprintln(w, "[]")
+			return
+		}
+		snaps := ft.LinksSnapshot()
+		out := make([]linkJSON, len(snaps))
+		for i, ls := range snaps {
+			out[i] = linkJSON{Type: "link", Name: ft.LinkNameOrIndex(ls.Link), LinkSnapshot: ls}
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(out)
+	})
+
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
@@ -145,22 +226,31 @@ func Handler(reg *Registry, prog *Progress) http.Handler {
 		fmt.Fprint(w, "numfabric debug endpoint\n\n"+
 			"  /metrics      registry snapshot (JSON)\n"+
 			"  /progress     live engine position (JSON)\n"+
+			"  /flows        slow-flow attribution (JSON)\n"+
+			"  /links        per-link utilization (JSON)\n"+
 			"  /debug/pprof/ runtime profiles\n"+
 			"  /debug/vars   expvar\n")
 	})
 	return mux
 }
 
+// flowsEndpointTop bounds the flows listed by /flows;
+// flowsEndpointFrac is the slowest fraction its attribution covers.
+const (
+	flowsEndpointTop  = 50
+	flowsEndpointFrac = 0.01
+)
+
 // Serve starts the debug endpoint on addr (e.g. "localhost:6060") and
 // returns the bound listener so callers can report the actual port
 // (addr may use :0) and close it on shutdown. The server goroutine
 // exits when the listener closes.
-func Serve(addr string, reg *Registry, prog *Progress) (net.Listener, error) {
+func Serve(addr string, reg *Registry, prog *Progress, ft *FlowTracer) (net.Listener, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: Handler(reg, prog)}
+	srv := &http.Server{Handler: Handler(reg, prog, ft)}
 	go srv.Serve(ln)
 	return ln, nil
 }

@@ -31,8 +31,18 @@ func TestDebugEndpoints(t *testing.T) {
 	prog := &Progress{}
 	prog.Record(2.0, 1000, 50, 200)
 	prog.RecordBatch(4)
+	prog.RecordWindows(10, 35, 2)
+	prog.RecordGate(true)
+	prog.RecordGate(false)
+	prog.RecordGate(false)
 
-	srv := httptest.NewServer(Handler(reg, prog))
+	ft := NewFlowTracer(FlowTraceConfig{SampleRate: 1})
+	ft.Bind([]float64{10, 10, 5})
+	ft.Admit(0, 1000, 0, []int{0, 2})
+	ft.Rate(0, 0, 2.5, 2, CauseSolve, 2, 1, 0)
+	ft.Complete(0, 3.2)
+
+	srv := httptest.NewServer(Handler(reg, prog, ft))
 	defer srv.Close()
 
 	var snap Snapshot
@@ -53,6 +63,27 @@ func TestDebugEndpoints(t *testing.T) {
 	if ps.SimSeconds < 1.99 || ps.SimSeconds > 2.01 {
 		t.Errorf("sim_seconds = %g, want ~2", ps.SimSeconds)
 	}
+	if ps.Windows != 10 || ps.AvgWindow != 3.5 || ps.WindowConflicts != 2 {
+		t.Errorf("window stats = %+v", ps)
+	}
+	if ps.GateSerial != 2 || ps.GateParallel != 1 {
+		t.Errorf("gate stats = %+v", ps)
+	}
+
+	var fs FlowsSnapshot
+	if err := json.Unmarshal(get(t, srv, "/flows"), &fs); err != nil {
+		t.Fatalf("/flows does not parse: %v", err)
+	}
+	if fs.Tracked != 1 || fs.Completed != 1 || len(fs.Flows) != 1 {
+		t.Errorf("/flows = %+v", fs)
+	}
+	var links []LinkSnapshot
+	if err := json.Unmarshal(get(t, srv, "/links"), &links); err != nil {
+		t.Fatalf("/links does not parse: %v", err)
+	}
+	if len(links) != 2 { // links 0 and 2 were touched
+		t.Errorf("/links = %+v", links)
+	}
 
 	// pprof and expvar must be mounted.
 	get(t, srv, "/debug/pprof/cmdline")
@@ -61,7 +92,7 @@ func TestDebugEndpoints(t *testing.T) {
 }
 
 func TestDebugEndpointsNilBackends(t *testing.T) {
-	srv := httptest.NewServer(Handler(nil, nil))
+	srv := httptest.NewServer(Handler(nil, nil, nil))
 	defer srv.Close()
 	if body := get(t, srv, "/metrics"); len(body) == 0 {
 		t.Error("nil-registry /metrics should still serve JSON")
@@ -70,10 +101,16 @@ func TestDebugEndpointsNilBackends(t *testing.T) {
 	if err := json.Unmarshal(get(t, srv, "/progress"), &ps); err != nil {
 		t.Fatalf("nil-progress /progress does not parse: %v", err)
 	}
+	if body := get(t, srv, "/flows"); len(body) == 0 {
+		t.Error("nil-tracer /flows should still serve JSON")
+	}
+	if body := get(t, srv, "/links"); len(body) == 0 {
+		t.Error("nil-tracer /links should still serve JSON")
+	}
 }
 
 func TestServe(t *testing.T) {
-	ln, err := Serve("127.0.0.1:0", NewRegistry(), &Progress{})
+	ln, err := Serve("127.0.0.1:0", NewRegistry(), &Progress{}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -43,9 +43,14 @@ type Hooks struct {
 	// Metrics receives per-batch registry updates (event/alloc
 	// counters, batch-width and component-size histograms).
 	Metrics *EngineMetrics
+	// FlowTrace records sampled per-flow lifecycles (rate segments,
+	// bottleneck links, slowdown attribution) and per-link
+	// utilization series.
+	FlowTrace *FlowTracer
 }
 
 // Enabled reports whether any hook is attached.
 func (h Hooks) Enabled() bool {
-	return h.Profiler != nil || h.Tracer != nil || h.Progress != nil || h.Metrics != nil
+	return h.Profiler != nil || h.Tracer != nil || h.Progress != nil ||
+		h.Metrics != nil || h.FlowTrace != nil
 }

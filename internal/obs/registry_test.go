@@ -196,3 +196,66 @@ func TestEngineMetricsNames(t *testing.T) {
 		t.Errorf("leap.batch_components missing: %+v", s.Histograms)
 	}
 }
+
+// TestHistogramQuantileBounds: out-of-range q clamps to the extreme
+// ranks instead of panicking or walking off the bucket array, and the
+// reported quantiles respect the log-linear relative-error bound.
+func TestHistogramQuantileBounds(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	if q := h.Quantile(-0.5); math.Abs(q-1) > 1*0.10 {
+		t.Errorf("q<0 should clamp to the minimum rank: got %g", q)
+	}
+	if q := h.Quantile(2); math.Abs(q-1000) > 1000*0.10 {
+		t.Errorf("q>1 should clamp to the maximum rank: got %g", q)
+	}
+	// Interior quantiles stay within one sub-bucket (≈9% relative).
+	for _, tc := range []struct{ q, want float64 }{{0.5, 500}, {0.9, 900}, {0.99, 990}} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > tc.want*0.10 {
+			t.Errorf("Quantile(%g) = %g, want %g ±10%%", tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestHistogramConcurrentObserveSnapshot races Observe directly
+// against Snapshot/Quantile on a bare histogram (no registry in
+// between) — under -race this guards the lock-free update path, and
+// every mid-flight snapshot must be internally sane.
+func TestHistogramConcurrentObserveSnapshot(t *testing.T) {
+	h := NewHistogram()
+	const workers = 4
+	const perWorker = 20000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(float64(i%1000) + 1)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			s := h.Snapshot()
+			if s.Count < 0 || s.Count > workers*perWorker {
+				t.Errorf("snapshot count %d out of range", s.Count)
+				return
+			}
+			if s.Count > 0 && (s.Min < 1 || s.Max > 1000 || s.P50 < 0) {
+				t.Errorf("inconsistent mid-flight snapshot: %+v", s)
+				return
+			}
+			_ = h.Quantile(0.99)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if h.Count() != workers*perWorker {
+		t.Fatalf("final count %d, want %d", h.Count(), workers*perWorker)
+	}
+}
