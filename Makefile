@@ -1,6 +1,6 @@
 # Convenience targets; CI runs the same commands.
 
-.PHONY: test race leap-race-matrix fuzz bench-smoke bench-json flowtrace-smoke
+.PHONY: test race leap-race-matrix alloc-gate fuzz bench-smoke bench-json flowtrace-smoke
 
 test:
 	go build ./... && go test ./...
@@ -16,6 +16,13 @@ leap-race-matrix:
 		echo "=== workers=$$w window=$$win"; \
 		LEAP_TEST_WORKERS=$$w LEAP_TEST_WINDOW=$$win go test -race ./internal/leap/ || exit 1; \
 	done; done
+
+# The zero-allocation steady-state pins: AllocsPerOp == 0 for a full
+# churn wave through the leap engine with hooks detached (and bounded
+# with the full obs stack attached), plus the per-event ReadMemStats
+# bounds and the table-recycling invariants behind them.
+alloc-gate:
+	go test -v -run 'TestAllocsPerOpSteadyState|TestReleaseFinishedRecycles|TestSteadyStateAllocations|TestPoolSteadyStateAllocations' -count=1 ./internal/leap/
 
 # Explore the windowed-vs-serial fuzz target beyond its committed seed
 # corpus (CI runs 30s per push; run longer locally when touching the

@@ -77,6 +77,15 @@ type Run struct {
 	WallSeconds     float64 `json:"wall_s"` // min over -repeat plays
 	FlowsPerSecond  float64 `json:"flows_per_s"`
 	SpeedupVsSerial float64 `json:"speedup_vs_serial"`
+	// AllocsPerEvent/BytesPerEvent are heap allocations and bytes per
+	// processed event across the recorded play's Run call
+	// (runtime.MemStats deltas over Stats().Events) — the memory-layout
+	// regression canary next to the wall-clock one. The make alloc-gate
+	// pins hold this near zero for the serial steady state; these
+	// fields record what the full matrix actually does, GC noise and
+	// all.
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
 	// AllocWorkRatio is FullSolveFlows/SolvedFlows: the factor
 	// component-local reallocation saves against re-solving the full
 	// active set at every coupled event.
@@ -317,10 +326,10 @@ func main() {
 			}
 		}
 		r.SpeedupVsSerial = baseline / r.WallSeconds
-		fmt.Printf("%-8s workers=%d eff=%d window=%d wall=%.3fs flows/s=%.0f speedup=%.2fx batches=%d parSolves=%d gate=%d/%d winW=%.2f conflicts=%d\n",
+		fmt.Printf("%-8s workers=%d eff=%d window=%d wall=%.3fs flows/s=%.0f speedup=%.2fx batches=%d parSolves=%d gate=%d/%d winW=%.2f conflicts=%d allocs/ev=%.3f B/ev=%.1f\n",
 			r.Workload, r.Workers, r.EffectiveWorkers, r.Window, r.WallSeconds, r.FlowsPerSecond, r.SpeedupVsSerial,
 			r.Batches, r.ParallelSolves, r.GateParallel, r.GateSerial,
-			r.AvgWindowInstants, r.WindowConflicts)
+			r.AvgWindowInstants, r.WindowConflicts, r.AllocsPerEvent, r.BytesPerEvent)
 	}
 
 	f, err := os.Create(*out)
@@ -360,9 +369,12 @@ func playOnce(ft *fluid.FatTree, arrivals []workload.Arrival, paths [][]int,
 		engFlows[i] = eng.AddFlow(paths[i], core.ProportionalFair(), a.Size, a.At.Seconds())
 	}
 	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	wall := time.Now()
 	eng.Run(math.Inf(1))
 	best := time.Since(wall).Seconds()
+	runtime.ReadMemStats(&m1)
 	var (
 		norm  []float64
 		fin   int
@@ -395,6 +407,8 @@ func playOnce(ft *fluid.FatTree, arrivals []workload.Arrival, paths [][]int,
 		Window:              window,
 		WallSeconds:         best,
 		FlowsPerSecond:      float64(len(arrivals)) / best,
+		AllocsPerEvent:      float64(m1.Mallocs-m0.Mallocs) / math.Max(float64(s.Events), 1),
+		BytesPerEvent:       float64(m1.TotalAlloc-m0.TotalAlloc) / math.Max(float64(s.Events), 1),
 		AllocWorkRatio:      float64(s.FullSolveFlows) / math.Max(float64(s.SolvedFlows), 1),
 		Batches:             s.Batches,
 		AvgBatchWidth:       float64(s.BatchComponents) / math.Max(float64(s.Batches), 1),

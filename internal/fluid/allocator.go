@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"numfabric/internal/core"
 	"numfabric/internal/oracle"
 )
 
@@ -112,6 +113,12 @@ type scratch struct {
 	// bload is the per-link load accumulator behind bottlenecks; like
 	// linkStamp it is link-indexed with only touched entries written.
 	bload []float64
+
+	// afU is the devirtualized utility column: when every flow in a
+	// call carries a core.AlphaFair (see gatherAlpha), hot loops read
+	// the concrete values here instead of calling through the Utility
+	// interface.
+	afU []core.AlphaFair
 }
 
 // ensureStamps lazily creates the stamp source (single-threaded: the
@@ -145,6 +152,30 @@ func (s *scratch) collectGroups(flows []*Flow) []*Group {
 		}
 	}
 	return s.groups
+}
+
+// gatherAlpha fills the afU column with each flow's concrete utility
+// and reports whether every flow carries a core.AlphaFair — the
+// homogeneous-α common case (ProportionalFair and the Table 1 α-fair
+// rows). When it returns true, allocator inner loops switch to a fast
+// variant whose Marginal/InverseMarginal calls are statically
+// dispatched on the 16-byte value (no itab indirection, inlinable);
+// the method bodies are the same either way, so rates are
+// bit-identical to the interface path. Returns false at the first
+// non-AlphaFair utility, leaving afU unspecified.
+func (s *scratch) gatherAlpha(flows []*Flow) bool {
+	if cap(s.afU) < len(flows) {
+		s.afU = make([]core.AlphaFair, len(flows))
+	}
+	s.afU = s.afU[:len(flows)]
+	for i, f := range flows {
+		u, ok := f.U.(core.AlphaFair)
+		if !ok {
+			return false
+		}
+		s.afU[i] = u
+	}
+	return true
 }
 
 // collectLinks gathers the distinct links crossed by flows, in
@@ -440,6 +471,8 @@ func (a *XWI) allocate(net *Network, flows []*Flow, rates []float64, subset bool
 	// belong to other components and stay untouched.
 	touched := a.s.collectLinks(nl, flows)
 	groups := a.s.collectGroups(flows)
+	fast := a.s.gatherAlpha(flows)
+	afU := a.s.afU
 	if a.Tol > 0 {
 		if cap(a.xprev) < nf {
 			a.xprev = make([]float64, nf)
@@ -449,15 +482,25 @@ func (a *XWI) allocate(net *Network, flows []*Flow, rates []float64, subset bool
 	done := 0
 	for it := 0; it < iters; it++ {
 		done = it + 1
-		for i, f := range flows {
-			w := f.U.InverseMarginal(pathPrice(i))
-			if f.Group != nil {
-				// §6.3 heuristic: scale the aggregate weight by the
-				// member's throughput share (floored so an unused path
-				// keeps probing), as in oracle.Solve.
-				w *= math.Max(f.share, 1e-3)
+		if fast {
+			for i, f := range flows {
+				w := afU[i].InverseMarginal(pathPrice(i))
+				if f.Group != nil {
+					w *= math.Max(f.share, 1e-3)
+				}
+				weights[i] = clamp(w, wMin, wMax)
 			}
-			weights[i] = clamp(w, wMin, wMax)
+		} else {
+			for i, f := range flows {
+				w := f.U.InverseMarginal(pathPrice(i))
+				if f.Group != nil {
+					// §6.3 heuristic: scale the aggregate weight by the
+					// member's throughput share (floored so an unused path
+					// keeps probing), as in oracle.Solve.
+					w *= math.Max(f.share, 1e-3)
+				}
+				weights[i] = clamp(w, wMin, wMax)
+			}
 		}
 		x = a.ws.WeightedMaxMin(net.Capacity, paths, weights, a.x)
 		a.x = x
@@ -491,7 +534,12 @@ func (a *XWI) allocate(net *Network, flows []*Flow, rates []float64, subset bool
 				// The KKT marginal of an aggregate is of its total rate.
 				agg = f.Group.aggRate
 			}
-			marg := f.U.Marginal(math.Max(agg, math.Max(rate, 1)))
+			var marg float64
+			if fast {
+				marg = afU[i].Marginal(math.Max(agg, math.Max(rate, 1)))
+			} else {
+				marg = f.U.Marginal(math.Max(agg, math.Max(rate, 1)))
+			}
 			res := (marg - pathPrice(i)) / float64(len(paths[i]))
 			for _, l := range paths[i] {
 				load[l] += rate
@@ -694,6 +742,8 @@ func (a *DGD) allocate(net *Network, flows []*Flow, rates []float64, subset bool
 	}
 	q := a.q[:nf]
 	groups := a.s.collectGroups(flows)
+	fast := a.s.gatherAlpha(flows)
+	afU := a.s.afU
 	if a.Tol > 0 {
 		if cap(a.xprev) < nf {
 			a.xprev = make([]float64, nf)
@@ -702,14 +752,27 @@ func (a *DGD) allocate(net *Network, flows []*Flow, rates []float64, subset bool
 	done := 0
 	for it := 0; it < iters; it++ {
 		done = it + 1
-		for i, f := range flows {
-			sum := 0.0
-			for _, l := range f.Links {
-				sum += price[l]
+		if fast {
+			for i, f := range flows {
+				sum := 0.0
+				for _, l := range f.Links {
+					sum += price[l]
+				}
+				q[i] = sum
+				if f.Group == nil {
+					x[i] = math.Min(afU[i].InverseMarginal(sum), xCap)
+				}
 			}
-			q[i] = sum
-			if f.Group == nil {
-				x[i] = math.Min(f.U.InverseMarginal(sum), xCap)
+		} else {
+			for i, f := range flows {
+				sum := 0.0
+				for _, l := range f.Links {
+					sum += price[l]
+				}
+				q[i] = sum
+				if f.Group == nil {
+					x[i] = math.Min(f.U.InverseMarginal(sum), xCap)
+				}
 			}
 		}
 		if len(groups) > 0 {

@@ -1,0 +1,288 @@
+package fluid
+
+import (
+	"math"
+
+	"numfabric/internal/core"
+)
+
+// This file is the cache-shaped storage layer behind the event-driven
+// engine (internal/leap): pooled, dense-id tables for flows and groups
+// plus a CSR-style arena for their paths. Three properties drive the
+// layout:
+//
+//   - Pointer stability. Engine state (link indexes, component scratch,
+//     allocator inputs) holds *Flow/*Group across arbitrary table
+//     growth, so storage is slabbed — fixed-size arrays allocated once
+//     and never moved — rather than one growable slice.
+//   - Dense recycled identity. Ids index per-flow engine state
+//     (flowState vectors, heap events, per-link active lists), so they
+//     must stay dense under churn: Release pushes an id onto a free
+//     list and Acquire pops it, keeping a long run's id space — and
+//     every id-indexed side table — bounded by the PEAK live set, not
+//     the total admitted.
+//   - Zero steady-state allocation. Paths are carved from a shared
+//     chunked arena (the CSR: segments of one flat store, not a
+//     per-flow make), and released segments recycle through per-length
+//     free lists; slab slots, path segments, and Group.Members backing
+//     all reuse, so churn in steady state performs no heap allocation
+//     at all (pinned by the leap package's AllocsPerOp tests).
+//
+// The arena stores []int segments (not int32): Flow.Links is the
+// public field every allocator and the oracle's max-min workspace
+// consume as []int, and handing out zero-copy views into the arena is
+// what deletes the per-flow copy without touching that API.
+const (
+	flowSlabBits = 9 // 512 flows per slab
+	flowSlabSize = 1 << flowSlabBits
+
+	groupSlabBits = 7 // 128 groups per slab
+	groupSlabSize = 1 << groupSlabBits
+
+	// pathChunk is the arena growth quantum, in ints.
+	pathChunk = 4096
+
+	// releasedPos marks a released slot's pos field so a double Release
+	// is caught instead of corrupting the free list.
+	releasedPos = -2
+)
+
+// FlowTable is pooled storage for Flow values: stable pointers, dense
+// recycled ids, and arena-backed paths. The zero value is ready to use.
+// A table is not concurrency-safe; each engine (or each single-threaded
+// driver) owns one, or several engines share one sequentially.
+type FlowTable struct {
+	slabs []*[flowSlabSize]Flow
+	// n is the high-water mark: every id ever issued is < n.
+	n    int
+	live int
+	free []int32
+
+	// arena is the current carve chunk of the path store; full chunks
+	// are dropped (their segments stay referenced by live flows or the
+	// per-length free lists in segFree).
+	arena   []int
+	segFree [][][]int
+	carved  int
+}
+
+// NewFlowTable returns an empty table (equivalent to new(FlowTable)).
+func NewFlowTable() *FlowTable { return &FlowTable{} }
+
+// Acquire returns a freshly initialized flow — the same initialization
+// NewFlow performs — with a recycled id when one is free and the next
+// dense id otherwise. links is copied into the table's path arena (a
+// recycled same-length segment when available), so the caller keeps
+// ownership of its slice and a warm table allocates nothing.
+func (t *FlowTable) Acquire(links []int, u core.Utility, sizeBytes int64, at float64) *Flow {
+	var id int
+	if n := len(t.free); n > 0 {
+		id = int(t.free[n-1])
+		t.free = t.free[:n-1]
+	} else {
+		id = t.n
+		if id>>flowSlabBits == len(t.slabs) {
+			t.slabs = append(t.slabs, new([flowSlabSize]Flow))
+		}
+		t.n++
+	}
+	t.live++
+	f := &t.slabs[id>>flowSlabBits][id&(flowSlabSize-1)]
+	*f = Flow{
+		ID:        id,
+		Links:     t.path(links),
+		U:         u,
+		Weight:    1,
+		SizeBytes: sizeBytes,
+		Arrive:    at,
+		Remaining: float64(sizeBytes),
+		Finish:    math.NaN(),
+		pos:       -1,
+	}
+	return f
+}
+
+// path carves (or recycles) a segment of the arena and copies links
+// into it. Full-capacity segments are handed out, so a recycled
+// segment fits its length class exactly.
+func (t *FlowTable) path(links []int) []int {
+	n := len(links)
+	if n == 0 {
+		return nil
+	}
+	if n < len(t.segFree) {
+		if b := t.segFree[n]; len(b) > 0 {
+			seg := b[len(b)-1]
+			b[len(b)-1] = nil
+			t.segFree[n] = b[:len(b)-1]
+			copy(seg, links)
+			return seg
+		}
+	}
+	if len(t.arena)+n > cap(t.arena) {
+		c := pathChunk
+		if n > c {
+			c = n
+		}
+		t.arena = make([]int, 0, c)
+	}
+	off := len(t.arena)
+	t.arena = t.arena[:off+n]
+	t.carved += n
+	seg := t.arena[off : off+n : off+n]
+	copy(seg, links)
+	return seg
+}
+
+// ByID returns the flow with the given id. The pointer is stable for
+// the table's lifetime; after a Release of that id it points at the
+// slot's next tenant.
+func (t *FlowTable) ByID(id int) *Flow {
+	return &t.slabs[id>>flowSlabBits][id&(flowSlabSize-1)]
+}
+
+// Release recycles f's id and path segment for a future Acquire. The
+// caller must be done with the flow entirely: the pointer's slot is
+// handed to the next Acquire that draws this id.
+func (t *FlowTable) Release(f *Flow) {
+	if t.ByID(f.ID) != f {
+		panic("fluid: Release of a Flow not owned by this table")
+	}
+	if f.pos == releasedPos {
+		panic("fluid: double Release of a Flow")
+	}
+	if n := len(f.Links); n > 0 {
+		for len(t.segFree) <= n {
+			t.segFree = append(t.segFree, nil)
+		}
+		t.segFree[n] = append(t.segFree[n], f.Links)
+	}
+	f.Links = nil
+	f.U = nil
+	f.Group = nil
+	f.pos = releasedPos
+	t.free = append(t.free, int32(f.ID))
+	t.live--
+}
+
+// Len returns the number of live (acquired, unreleased) flows.
+func (t *FlowTable) Len() int { return t.live }
+
+// Cap returns the id high-water mark: every id ever issued is < Cap,
+// and under recycling Cap tracks the peak live set, not the total
+// admitted. Id-indexed side tables size to it.
+func (t *FlowTable) Cap() int { return t.n }
+
+// ArenaInts returns the total path-arena ints ever carved (recycled
+// segments are not re-counted) — the telemetry the arena-reuse tests
+// pin.
+func (t *FlowTable) ArenaInts() int { return t.carved }
+
+// Reset forgets every flow while keeping the slabs and the current
+// arena chunk for reuse. All previously returned pointers and path
+// views are invalid afterward.
+func (t *FlowTable) Reset() {
+	t.free = t.free[:0]
+	t.n = 0
+	t.live = 0
+	t.arena = t.arena[:0]
+	// Recycled segments may alias chunks the truncated arena will carve
+	// over; drop them all.
+	t.segFree = t.segFree[:0]
+	t.carved = 0
+}
+
+// GroupTable is FlowTable's analog for multipath aggregates: stable
+// pointers, dense recycled ids, and Members backing arrays that
+// survive recycling. The zero value is ready to use.
+type GroupTable struct {
+	slabs []*[groupSlabSize]Group
+	n     int
+	live  int
+	free  []int32
+}
+
+// NewGroupTable returns an empty table (equivalent to new(GroupTable)).
+func NewGroupTable() *GroupTable { return &GroupTable{} }
+
+// Acquire returns a freshly initialized group — the same
+// initialization NewGroup performs — reusing a recycled id and its
+// slot's Members backing when one is free. Attach member subflows with
+// AddMember.
+func (t *GroupTable) Acquire(u core.Utility, sizeBytes int64, at float64) *Group {
+	var id int
+	if n := len(t.free); n > 0 {
+		id = int(t.free[n-1])
+		t.free = t.free[:n-1]
+	} else {
+		id = t.n
+		if id>>groupSlabBits == len(t.slabs) {
+			t.slabs = append(t.slabs, new([groupSlabSize]Group))
+		}
+		t.n++
+	}
+	t.live++
+	g := &t.slabs[id>>groupSlabBits][id&(groupSlabSize-1)]
+	members := g.Members[:0]
+	*g = Group{
+		ID:        id,
+		U:         u,
+		Weight:    1,
+		SizeBytes: sizeBytes,
+		Arrive:    at,
+		Remaining: float64(sizeBytes),
+		Finish:    math.NaN(),
+		pos:       -1,
+	}
+	g.Members = members
+	return g
+}
+
+// ByID returns the group with the given id (see FlowTable.ByID).
+func (t *GroupTable) ByID(id int) *Group {
+	return &t.slabs[id>>groupSlabBits][id&(groupSlabSize-1)]
+}
+
+// Release recycles g's id. Members are NOT released — release each
+// member to its own FlowTable — but their backing array is kept for
+// the slot's next tenant.
+func (t *GroupTable) Release(g *Group) {
+	if t.ByID(g.ID) != g {
+		panic("fluid: Release of a Group not owned by this table")
+	}
+	if g.pos == releasedPos {
+		panic("fluid: double Release of a Group")
+	}
+	for i := range g.Members {
+		g.Members[i] = nil
+	}
+	g.Members = g.Members[:0]
+	g.U = nil
+	g.pos = releasedPos
+	t.free = append(t.free, int32(g.ID))
+	t.live--
+}
+
+// Len returns the number of live (acquired, unreleased) groups.
+func (t *GroupTable) Len() int { return t.live }
+
+// Cap returns the id high-water mark (see FlowTable.Cap).
+func (t *GroupTable) Cap() int { return t.n }
+
+// Reset forgets every group while keeping the slabs (and each slot's
+// Members backing) for reuse.
+func (t *GroupTable) Reset() {
+	for _, slab := range t.slabs {
+		for i := range slab {
+			g := &slab[i]
+			for j := range g.Members {
+				g.Members[j] = nil
+			}
+			g.Members = g.Members[:0]
+			g.U = nil
+		}
+	}
+	t.free = t.free[:0]
+	t.n = 0
+	t.live = 0
+}

@@ -146,10 +146,14 @@ func runDynamicFlowEngine(cfg DynamicConfig, topo *Topology, eng flowEngine) Dyn
 	arrivals, spines, utilityFor := dynamicWorkload(cfg, topo)
 	flows := make([]*fluid.Flow, len(arrivals))
 	var lastArrival sim.Time
+	// Both flow engines copy the path on AddFlow (leap's table arena,
+	// the epoch engine's NewFlow), so one buffer serves every admission.
+	var pathBuf []int
 	for i, a := range arrivals {
 		lastArrival = a.At
 		fwd, _ := topo.Route(a.Src, a.Dst, spines[i])
-		flows[i] = eng.AddFlow(PathLinkIDs(fwd), utilityFor(a.Size), a.Size, a.At.Seconds())
+		pathBuf = AppendPathLinkIDs(pathBuf[:0], fwd)
+		flows[i] = eng.AddFlow(pathBuf, utilityFor(a.Size), a.Size, a.At.Seconds())
 	}
 	eng.Run(lastArrival.Add(cfg.Drain).Seconds())
 

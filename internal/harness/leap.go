@@ -190,9 +190,13 @@ func RunIncastLeap(cfg IncastConfig) IncastResult {
 	})
 	flows := make([]*fluid.Flow, len(arrivals))
 	burstOf := make([]int, len(arrivals))
+	// The leap engine copies paths into its table arena on AddFlow, so
+	// one buffer serves every admission.
+	var pathBuf []int
 	for i, a := range arrivals {
 		fwd, _ := topo.Route(a.Src, a.Dst, rng.Intn(cfg.Topo.Spines))
-		flows[i] = leng.AddFlow(PathLinkIDs(fwd), core.ProportionalFair(), a.Size, a.At.Seconds())
+		pathBuf = AppendPathLinkIDs(pathBuf[:0], fwd)
+		flows[i] = leng.AddFlow(pathBuf, core.ProportionalFair(), a.Size, a.At.Seconds())
 		// Interval ≤ 0 (sensible for a single burst) stacks every
 		// arrival into burst 0.
 		if cfg.Interval > 0 {

@@ -167,9 +167,17 @@ func (t *Topology) NewFlow(src, dst, spine int, size int64) *netsim.Flow {
 // PathLinkIDs converts a port path to the LinkID form Oracle problems
 // use.
 func PathLinkIDs(path []*netsim.Port) []int {
-	out := make([]int, len(path))
-	for i, p := range path {
-		out[i] = p.LinkID
+	return AppendPathLinkIDs(nil, path)
+}
+
+// AppendPathLinkIDs is PathLinkIDs into a reusable buffer: it appends
+// path's link ids to dst and returns the extended slice. Drivers that
+// feed engines which copy the path on admission (the leap engine's
+// table arena, the epoch engine's NewFlow) reuse one buffer across
+// every AddFlow instead of allocating a fresh slice per flow.
+func AppendPathLinkIDs(dst []int, path []*netsim.Port) []int {
+	for _, p := range path {
+		dst = append(dst, p.LinkID)
 	}
-	return out
+	return dst
 }

@@ -1,7 +1,5 @@
 package leap
 
-import "numfabric/internal/fluid"
-
 // event is one scheduled completion: a finite flow or a finite group
 // emptying at time t under the rate set when the event was pushed. ep
 // is the owner's reallocation epoch at push time; when a component is
@@ -12,12 +10,17 @@ import "numfabric/internal/fluid"
 // deterministically on (id, kind): flow and group IDs are each dense
 // in their own sequence, so two events can share an id across kinds,
 // and before() then orders the flow ahead of the group.
+//
+// Events carry the owner's dense id, not a pointer — 16 bytes instead
+// of 40, and the id stays meaningful under table recycling
+// (fluid.FlowTable): a recycled id's new tenant starts at a bumped
+// epoch, so the old tenant's events are stale on arrival. The engine
+// resolves owners through its tables when an event surfaces.
 type event struct {
-	t  float64
-	id int
-	ep uint32
-	f  *fluid.Flow  // nil for group events
-	g  *fluid.Group // nil for flow events
+	t   float64
+	ep  uint32
+	id  int32
+	grp bool // group event (resolve id via the group table)
 }
 
 func (e event) before(o event) bool {
@@ -29,7 +32,7 @@ func (e event) before(o event) bool {
 	}
 	// Same id across kinds (a flow and a group may share an id):
 	// flows first.
-	return e.g == nil && o.g != nil
+	return !e.grp && o.grp
 }
 
 // eventHeap is a binary min-heap of completion events keyed on

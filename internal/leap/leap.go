@@ -170,6 +170,14 @@ type Config struct {
 	// byte-identical with hooks on or off (instrumentation never
 	// touches engine state).
 	Obs obs.Hooks
+	// Table and GroupTable, when non-nil, are the pooled storage the
+	// engine acquires its flows and groups from (defaults are fresh
+	// per-engine tables). Passing shared tables lets consecutive
+	// engines — or consecutive Run+ReleaseFinished cycles on one —
+	// recycle ids, slab slots, and path-arena segments, so sustained
+	// churn allocates nothing.
+	Table      *fluid.FlowTable
+	GroupTable *fluid.GroupTable
 }
 
 // parallelMinFlows and parallelMinOps gate the worker pool: a batch
@@ -354,11 +362,15 @@ type flowState struct {
 
 // flowState/groupState bits: three flags and a 29-bit epoch. evBit
 // marks a live heap event, seededBit a pending reallocation seed,
-// inCompBit membership in the component being collected.
+// inCompBit membership in the component being collected. Groups never
+// use inCompBit (the flood tracks them by mark), so its slot doubles
+// as activeBit — group membership in the activeGroups slice, replacing
+// the old map[*Group]bool lookup on every member admission.
 const (
 	evBit     = 1 << 0
 	seededBit = 1 << 1
 	inCompBit = 1 << 2
+	activeBit = 1 << 2 // groupState only; shares inCompBit's slot
 	epShift   = 3
 	epInc     = 1 << epShift
 	epMask    = ^uint32(epInc - 1)
@@ -396,11 +408,13 @@ type compRange struct{ f0, f1, g0, g1 int }
 // applied by the (possibly parallel) per-shard resplice phase. t is
 // the virtual time the rate was installed at — always the engine's
 // now in the instant-batched loop, but a window's components solve at
-// their own instants, so the op must carry its base time along.
+// their own instants, so the op must carry its base time along. Like
+// heap events, ops carry dense ids, resolved through the tables at
+// apply time.
 type evOp struct {
-	f *fluid.Flow  // nil for group ops
-	g *fluid.Group // nil for flow ops
-	t float64
+	t   float64
+	id  int32
+	grp bool
 }
 
 // compResult is one component's solve outcome: the resplice ops it
@@ -418,6 +432,13 @@ type Engine struct {
 	net    *fluid.Network
 	alloc  fluid.Allocator
 	global bool
+	// tbl/gtbl are the pooled flow and group storage (Config.Table /
+	// Config.GroupTable, or per-engine tables): slab-stable pointers,
+	// dense recycled ids, arena-backed paths. Every id the engine keys
+	// its state by — heap events, evOps, linkFlows, fs/gs — resolves
+	// through them.
+	tbl  *fluid.FlowTable
+	gtbl *fluid.GroupTable
 	// subW are the per-worker subset-solver views (subW[0] also serves
 	// every serial solve); nil in global mode.
 	subW    []fluid.SubsetAllocator
@@ -451,7 +472,6 @@ type Engine struct {
 	nDone          int
 	activeGroups   []*fluid.Group
 	nDoneG         int
-	inActive       map[*fluid.Group]bool
 	finished       []*fluid.Flow
 	finishedGroups []*fluid.Group
 
@@ -471,12 +491,14 @@ type Engine struct {
 	// changed is the global mode's full-re-solve latch.
 	changed bool
 
-	// linkFlows[l] lists the active flows crossing link l, maintained
-	// exactly: arrivals append, departures swap-remove. It is the
-	// link-sharing index — the isolation fast-path check is a length
-	// test and the component flood traverses it as the adjacency.
-	// Global mode keeps no index (every change re-solves everything).
-	linkFlows [][]*fluid.Flow
+	// linkFlows[l] lists the active flows crossing link l — by dense
+	// id, four bytes per entry — maintained exactly: arrivals append,
+	// departures swap-remove. It is the link-sharing index — the
+	// isolation fast-path check is a length test and the component
+	// flood traverses it as the adjacency (resolving ids through the
+	// flow table only for flows not yet collected). Global mode keeps
+	// no index (every change re-solves everything).
+	linkFlows [][]int32
 	// linkMark stamps the links a flood visited with the flood's
 	// round. Rounds come from the atomic roundSrc so concurrent
 	// shard-local floods draw globally unique rounds — a shard's marks
@@ -559,9 +581,6 @@ type Engine struct {
 	winEv    []event
 	winBuf   floodBuf
 
-	nextID      int
-	nextGroupID int
-
 	events    int
 	allocs    int
 	solved    int
@@ -611,14 +630,23 @@ type Engine struct {
 func NewEngine(net *fluid.Network, cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	sub, ok := cfg.Allocator.(fluid.SubsetAllocator)
+	tbl := cfg.Table
+	if tbl == nil {
+		tbl = fluid.NewFlowTable()
+	}
+	gtbl := cfg.GroupTable
+	if gtbl == nil {
+		gtbl = fluid.NewGroupTable()
+	}
 	e := &Engine{
-		net:      net,
-		alloc:    cfg.Allocator,
-		inActive: make(map[*fluid.Group]bool),
-		global:   cfg.Global || !ok,
-		workers:  cfg.Workers,
-		sweep:    cfg.SweepThreshold,
-		window:   cfg.Window,
+		net:     net,
+		alloc:   cfg.Allocator,
+		tbl:     tbl,
+		gtbl:    gtbl,
+		global:  cfg.Global || !ok,
+		workers: cfg.Workers,
+		sweep:   cfg.SweepThreshold,
+		window:  cfg.Window,
 	}
 	if e.global {
 		// A global re-solve is one component spanning everything:
@@ -627,7 +655,7 @@ func NewEngine(net *fluid.Network, cfg Config) *Engine {
 		e.workers = 1
 		e.window = 1
 	} else {
-		e.linkFlows = make([][]*fluid.Flow, net.Links())
+		e.linkFlows = make([][]int32, net.Links())
 		e.linkMark = make([]int, net.Links())
 		if ps, isPar := cfg.Allocator.(fluid.ParallelSubsetAllocator); isPar {
 			// Prime once so no worker races on lazy warm-state
@@ -812,10 +840,68 @@ func (e *Engine) Active() []*fluid.Flow {
 
 // Finished returns every completed flow, in completion order. Group
 // members appear here too, stamped with their group's finish time.
+// ReleaseFinished truncates the list.
 func (e *Engine) Finished() []*fluid.Flow { return e.finished }
 
 // FinishedGroups returns every completed group, in completion order.
 func (e *Engine) FinishedGroups() []*fluid.Group { return e.finishedGroups }
+
+// Tables returns the engine's flow and group storage tables (for
+// inspection, or to hand to another engine's Config).
+func (e *Engine) Tables() (*fluid.FlowTable, *fluid.GroupTable) { return e.tbl, e.gtbl }
+
+// ReleaseFinished recycles every finished flow and group back to the
+// engine's tables and truncates the finished lists, returning the
+// counts released. Churn-heavy drivers call it after harvesting FCTs —
+// between Run calls, or periodically during one — so ids, slab slots,
+// and path segments recycle and sustained churn allocates nothing;
+// without it the tables grow with the total admitted (every pointer
+// stays valid forever, the pre-table behavior). Previously returned
+// pointers to the released flows and groups are invalid afterward.
+// Not safe to interleave with an in-flight Step on another goroutine
+// (the engine was never concurrency-safe at the API level).
+func (e *Engine) ReleaseFinished() (flows, groups int) {
+	// The active slices may still carry retired entries awaiting lazy
+	// compaction, and the admitted prefix of pending still references
+	// its flows; drop both so nothing points at a recycled slot.
+	e.compactActive()
+	e.compactActiveGroups()
+	// A completion batch can seed a survivor that then retires in the
+	// same instant; when the run drains right there, the done flow
+	// stays in the seed list (the flood would skip it). Releasing it
+	// anyway would hand the stale seed to the slot's next tenant, so
+	// drop done seeds before recycling.
+	if len(e.touched) > 0 {
+		kept := e.touched[:0]
+		for _, f := range e.touched {
+			if !f.Done() {
+				kept = append(kept, f)
+			}
+		}
+		for i := len(kept); i < len(e.touched); i++ {
+			e.touched[i] = nil
+		}
+		e.touched = kept
+	}
+	if e.next > 0 {
+		n := copy(e.pending, e.pending[e.next:])
+		clear(e.pending[n:])
+		e.pending = e.pending[:n]
+		e.next = 0
+	}
+	flows, groups = len(e.finished), len(e.finishedGroups)
+	for i, f := range e.finished {
+		e.tbl.Release(f)
+		e.finished[i] = nil
+	}
+	e.finished = e.finished[:0]
+	for i, g := range e.finishedGroups {
+		e.gtbl.Release(g)
+		e.finishedGroups[i] = nil
+	}
+	e.finishedGroups = e.finishedGroups[:0]
+	return flows, groups
+}
 
 // Allocs returns how many allocator solves have run.
 func (e *Engine) Allocs() int { return e.allocs }
@@ -861,10 +947,18 @@ func (e *Engine) Stats() Stats {
 // at ≤ Now admits it on the next Step), with utility u and payload
 // sizeBytes (0 = unbounded). It returns the Flow for inspection.
 func (e *Engine) AddFlow(links []int, u core.Utility, sizeBytes int64, at float64) *fluid.Flow {
-	f := fluid.NewFlow(e.nextID, links, u, sizeBytes, at)
-	e.nextID++
-	e.fs = append(grow(e.fs), flowState{})
-	e.fshard = append(grow(e.fshard), e.pureShard(links))
+	f := e.tbl.Acquire(links, u, sizeBytes, at)
+	id := f.ID
+	for id >= len(e.fs) {
+		e.fs = append(grow(e.fs), flowState{})
+		e.fshard = append(grow(e.fshard), 0)
+	}
+	// Carry the slot's epoch forward, bumped: a recycled id can still
+	// have stale completion events sitting in the heaps, and the bump
+	// keeps them stale against the new tenant.
+	st := &e.fs[id]
+	*st = flowState{bits: (st.bits + epInc) & epMask}
+	e.fshard[id] = e.pureShard(f.Links)
 	if n := len(e.pending); n > 0 && at < e.pending[n-1].Arrive {
 		e.unsorted = true
 	}
@@ -878,11 +972,20 @@ func (e *Engine) AddFlow(links []int, u core.Utility, sizeBytes int64, at float6
 // sizeBytes (0 = unbounded). It returns the Group for inspection; the
 // member flows are in Group.Members, path order.
 func (e *Engine) AddGroup(paths [][]int, u core.Utility, sizeBytes int64, at float64) *fluid.Group {
-	g := fluid.NewGroup(e.nextGroupID, u, sizeBytes, at)
-	e.nextGroupID++
-	e.gs = append(e.gs, groupState{})
+	g := e.gtbl.Acquire(u, sizeBytes, at)
+	id := g.ID
+	for id >= len(e.gs) {
+		e.gs = append(grow(e.gs), groupState{})
+		if e.window > 1 {
+			e.winGroup = append(grow(e.winGroup), 0)
+		}
+	}
+	// As in AddFlow: keep a recycled id's epoch moving forward, and
+	// clear any window claim the slot's previous tenant left behind.
+	gst := &e.gs[id]
+	*gst = groupState{bits: (gst.bits + epInc) & epMask}
 	if e.window > 1 {
-		e.winGroup = append(grow(e.winGroup), 0)
+		e.winGroup[id] = 0
 	}
 	for _, links := range paths {
 		g.AddMember(e.AddFlow(links, u, 0, at))
@@ -911,13 +1014,16 @@ func (e *Engine) admitDue() {
 		if !e.global {
 			iso = f.Group == nil && e.isolated(f)
 			for _, l := range f.Links {
-				e.linkFlows[l] = append(e.linkFlows[l], f)
+				e.linkFlows[l] = append(e.linkFlows[l], int32(f.ID))
 			}
 		}
 		e.active = append(e.active, f)
-		if g := f.Group; g != nil && !e.inActive[g] {
-			e.inActive[g] = true
-			e.activeGroups = append(e.activeGroups, g)
+		if g := f.Group; g != nil {
+			gst := &e.gs[g.ID]
+			if gst.bits&activeBit == 0 {
+				gst.bits |= activeBit
+				e.activeGroups = append(e.activeGroups, g)
+			}
 		}
 		if e.ft != nil && f.Group == nil && f.SizeBytes > 0 {
 			e.ft.Admit(f.ID, f.SizeBytes, f.Arrive, f.Links)
@@ -933,6 +1039,16 @@ func (e *Engine) admitDue() {
 		n++
 	}
 	e.next = n
+	// Compact the admitted prefix out once it dominates the slice:
+	// amortized O(1) per admission, and under churn + ReleaseFinished
+	// it keeps pending from growing with the total admitted (and from
+	// pinning recycled flows).
+	if n > 64 && 2*n >= len(e.pending) {
+		m := copy(e.pending, e.pending[n:])
+		clear(e.pending[m:])
+		e.pending = e.pending[:m]
+		e.next = 0
+	}
 }
 
 // isolated reports whether none of f's links carry an active flow.
@@ -990,13 +1106,13 @@ func (e *Engine) seed(f *fluid.Flow) {
 // departure, whose capacity was visible to nobody, so the remaining
 // schedule stands.
 func (e *Engine) unlink(f *fluid.Flow) (coupled bool) {
+	id := int32(f.ID)
 	for _, l := range f.Links {
 		lf := e.linkFlows[l]
 		for i, n := range lf {
-			if n == f {
+			if n == id {
 				last := len(lf) - 1
 				lf[i] = lf[last]
-				lf[last] = nil
 				lf = lf[:last]
 				e.linkFlows[l] = lf
 				break
@@ -1004,7 +1120,7 @@ func (e *Engine) unlink(f *fluid.Flow) (coupled bool) {
 		}
 		for _, n := range lf {
 			coupled = true
-			e.seed(n)
+			e.seed(e.tbl.ByID(int(n)))
 		}
 	}
 	return coupled
@@ -1014,6 +1130,23 @@ func (e *Engine) unlink(f *fluid.Flow) (coupled bool) {
 func (e *Engine) enqueueTo(list []*fluid.Flow, f *fluid.Flow) []*fluid.Flow {
 	st := &e.fs[f.ID]
 	if f.Done() || st.bits&inCompBit != 0 {
+		return list
+	}
+	st.bits |= inCompBit
+	return append(list, f)
+}
+
+// enqueueID is enqueueTo keyed by dense id — the flood's adjacency
+// walk, which checks the state bits before resolving the flow at all
+// (already-collected neighbors, the common case on dense links, never
+// touch the table).
+func (e *Engine) enqueueID(list []*fluid.Flow, id int32) []*fluid.Flow {
+	st := &e.fs[id]
+	if st.bits&inCompBit != 0 {
+		return list
+	}
+	f := e.tbl.ByID(int(id))
+	if f.Done() {
 		return list
 	}
 	st.bits |= inCompBit
@@ -1049,10 +1182,10 @@ func (e *Engine) floodComponent(seed *fluid.Flow, shard int, buf *floodBuf) bool
 			}
 			e.linkMark[l] = r
 			for _, n := range e.linkFlows[l] {
-				if shard >= 0 && e.fshard[n.ID] != int16(shard) {
+				if shard >= 0 && e.fshard[n] != int16(shard) {
 					return false
 				}
-				buf.comp = e.enqueueTo(buf.comp, n)
+				buf.comp = e.enqueueID(buf.comp, n)
 			}
 		}
 	}
@@ -1248,10 +1381,19 @@ func (e *Engine) groupShard(g *fluid.Group) int {
 }
 
 func (e *Engine) opShard(op evOp) int {
-	if op.f != nil {
-		return e.flowShard(op.f)
+	if !op.grp {
+		return e.flowShard(e.tbl.ByID(int(op.id)))
 	}
-	return e.groupShard(op.g)
+	return e.groupShard(e.gtbl.ByID(int(op.id)))
+}
+
+// eventShard returns the heap shard a (possibly popped) event belongs
+// to, resolving its owner through the tables.
+func (e *Engine) eventShard(ev event) int {
+	if !ev.grp {
+		return e.flowShard(e.tbl.ByID(int(ev.id)))
+	}
+	return e.groupShard(e.gtbl.ByID(int(ev.id)))
 }
 
 // invalidateFlow bumps f's epoch, marking any heap event it has stale.
@@ -1276,22 +1418,25 @@ func (e *Engine) invalidateGroup(g *fluid.Group) {
 func (e *Engine) pushFlowEvent(f *fluid.Flow, now float64) {
 	s := &e.fs[f.ID]
 	s.bits |= evBit
-	e.heaps[e.flowShard(f)].push(event{t: now + f.Remaining*8/f.Rate, id: f.ID, ep: s.bits & epMask, f: f})
+	e.heaps[e.flowShard(f)].push(event{t: now + f.Remaining*8/f.Rate, id: int32(f.ID), ep: s.bits & epMask})
 }
 
 func (e *Engine) pushGroupEvent(g *fluid.Group, now float64) {
 	s := &e.gs[g.ID]
 	s.bits |= evBit
-	e.heaps[e.groupShard(g)].push(event{t: now + g.Remaining*8/g.Rate(), id: g.ID, ep: s.bits & epMask, g: g})
+	e.heaps[e.groupShard(g)].push(event{t: now + g.Remaining*8/g.Rate(), id: int32(g.ID), ep: s.bits & epMask, grp: true})
 }
 
 // valid reports whether a heap event is still live: its owner running
-// and its epoch current.
+// and its epoch current. The epoch check comes first — a stale event
+// (and any event left by a recycled id's previous tenant, whose epoch
+// the new tenant advanced past) is rejected without resolving its
+// owner at all.
 func (e *Engine) valid(ev event) bool {
-	if ev.f != nil {
-		return ev.ep == e.fs[ev.f.ID].bits&epMask && !ev.f.Done()
+	if !ev.grp {
+		return ev.ep == e.fs[ev.id].bits&epMask && !e.tbl.ByID(int(ev.id)).Done()
 	}
-	return ev.ep == e.gs[ev.g.ID].bits&epMask && !ev.g.Done()
+	return ev.ep == e.gs[ev.id].bits&epMask && !e.gtbl.ByID(int(ev.id)).Done()
 }
 
 // earliest prunes stale events off every shard's top and returns the
@@ -1365,16 +1510,18 @@ func (e *Engine) preApplyFlow(f *fluid.Flow, rate, now float64) bool {
 // op's own flow/group state and its home shard's heap, and every
 // flow/group appears in at most one op per batch.
 func (e *Engine) applyOp(op evOp) {
-	if op.f != nil {
-		e.invalidateFlow(op.f)
-		if op.f.Rate > 0 {
-			e.pushFlowEvent(op.f, op.t)
+	if !op.grp {
+		f := e.tbl.ByID(int(op.id))
+		e.invalidateFlow(f)
+		if f.Rate > 0 {
+			e.pushFlowEvent(f, op.t)
 		}
 		return
 	}
-	e.invalidateGroup(op.g)
-	if op.g.Rate() > 0 {
-		e.pushGroupEvent(op.g, op.t)
+	g := e.gtbl.ByID(int(op.id))
+	e.invalidateGroup(g)
+	if g.Rate() > 0 {
+		e.pushGroupEvent(g, op.t)
 	}
 }
 
@@ -1415,7 +1562,7 @@ func (e *Engine) preApply(flows []*fluid.Flow, groups []*fluid.Group, rates []fl
 			continue
 		}
 		if e.preApplyFlow(f, rates[i], now) {
-			res.ops = append(res.ops, evOp{f: f, t: now})
+			res.ops = append(res.ops, evOp{id: int32(f.ID), t: now})
 		}
 	}
 	for _, g := range groups {
@@ -1427,7 +1574,7 @@ func (e *Engine) preApply(flows []*fluid.Flow, groups []*fluid.Group, rates []fl
 		if gb&seededBit == 0 && (gb&evBit != 0) == (total > 0) {
 			continue
 		}
-		res.ops = append(res.ops, evOp{g: g, t: now})
+		res.ops = append(res.ops, evOp{id: int32(g.ID), grp: true, t: now})
 	}
 }
 
@@ -1448,7 +1595,7 @@ func (e *Engine) solveComponent(alloc fluid.SubsetAllocator, ci int) {
 		// elision its arrival fast path uses, generalized to
 		// departures that strand a lone neighbor.
 		if e.preApplyFlow(flows[0], e.pathMinCap(flows[0]), now) {
-			res.ops = append(res.ops, evOp{f: flows[0], t: now})
+			res.ops = append(res.ops, evOp{id: int32(flows[0].ID), t: now})
 		}
 		return
 	}
@@ -1904,8 +2051,8 @@ func (e *Engine) gatherMerge(due []int) []event {
 // move to the finished lists, unlink from the link index, and seed
 // the neighbors the departure uncouples.
 func (e *Engine) retireEvent(ev event) {
-	if ev.f != nil {
-		f := ev.f
+	if !ev.grp {
+		f := e.tbl.ByID(int(ev.id))
 		e.fs[f.ID].bits &^= evBit
 		f.Finish = ev.t
 		f.Remaining = 0
@@ -1922,7 +2069,7 @@ func (e *Engine) retireEvent(ev event) {
 		}
 		return
 	}
-	g := ev.g
+	g := e.gtbl.ByID(int(ev.id))
 	e.gs[g.ID].bits &^= evBit
 	g.Finish = ev.t
 	g.Remaining = 0
@@ -1940,7 +2087,7 @@ func (e *Engine) retireEvent(ev event) {
 	}
 	e.finishedGroups = append(e.finishedGroups, g)
 	e.nDoneG++
-	delete(e.inActive, g)
+	e.gs[g.ID].bits &^= activeBit
 	switch {
 	case e.global:
 		e.changed = true

@@ -175,11 +175,7 @@ func (e *Engine) collectWindow(deadline float64) {
 		if len(e.winTasks) > 0 && !e.claimInstant(evs, e.pending[a0:na]) {
 			// Safety bound hit: restore the pops and close the window.
 			for _, ev := range evs {
-				if ev.f != nil {
-					e.heaps[e.flowShard(ev.f)].push(ev)
-				} else {
-					e.heaps[e.groupShard(ev.g)].push(ev)
-				}
+				e.heaps[e.eventShard(ev)].push(ev)
 			}
 			e.winEv = e.winEv[:e0]
 			na = a0
@@ -225,11 +221,11 @@ func (e *Engine) claimInstant(events []event, arrivals []*fluid.Flow) bool {
 		e.floodComponent(f, -1, wb)
 	}
 	for _, ev := range events {
-		if ev.f != nil {
-			flood(ev.f)
+		if !ev.grp {
+			flood(e.tbl.ByID(int(ev.id)))
 			continue
 		}
-		for _, m := range ev.g.Members {
+		for _, m := range e.gtbl.ByID(int(ev.id)).Members {
 			if !m.Done() {
 				flood(m)
 				break
@@ -250,16 +246,17 @@ func (e *Engine) claimInstant(events []event, arrivals []*fluid.Flow) bool {
 	// Seeds absorbed by an earlier instant (marked before this call)
 	// are not in wb.comp[f0:]; their claims are checked directly.
 	for _, ev := range events {
-		if ev.f != nil {
-			if claimed(ev.f) {
+		if !ev.grp {
+			if claimed(e.tbl.ByID(int(ev.id))) {
 				return false
 			}
 			continue
 		}
-		if e.winGroup[ev.g.ID] == e.winSeq {
+		g := e.gtbl.ByID(int(ev.id))
+		if e.winGroup[g.ID] == e.winSeq {
 			return false
 		}
-		for _, m := range ev.g.Members {
+		for _, m := range g.Members {
 			if claimed(m) {
 				return false
 			}

@@ -164,7 +164,12 @@ type FlowSeg struct {
 // attribution — parallel slices mapping each distinct bottleneck link
 // to the service time lost to it, summing to FCT − IdealFCT.
 type FlowRecord struct {
-	ID        int
+	ID int
+	// Seq is the tracer's admission ordinal. Engine flow ids recycle
+	// under table-backed churn (fluid.FlowTable + leap ReleaseFinished:
+	// the id space is bounded by the peak live set), so two records in
+	// one trace can share an ID; Seq is the identity that never does.
+	Seq       uint64
 	SizeBytes int64
 	Arrive    float64
 	// LineRate is the flow's ideal rate: the minimum capacity along
@@ -270,6 +275,7 @@ func (t *FlowTracer) Admit(id int, sizeBytes int64, arrive float64, links []int)
 		r.links = append(r.links, int32(l))
 	}
 	r.ID = id
+	r.Seq = uint64(t.tracked)
 	r.SizeBytes = sizeBytes
 	r.Arrive = arrive
 	r.LineRate = lineRate
@@ -430,14 +436,18 @@ func splitmix64(x uint64) uint64 {
 	return x
 }
 
-// slowLess orders records by (slowdown, id) ascending — the heap
-// minimum is the least-slow reservoir entry, evicted first.
+// slowLess orders records by (slowdown, id, seq) ascending — the heap
+// minimum is the least-slow reservoir entry, evicted first. Seq breaks
+// the tie two tenants of one recycled engine id would otherwise leave.
 func slowLess(a, b *FlowRecord) bool {
 	sa, sb := a.Slowdown(), b.Slowdown()
 	if sa != sb {
 		return sa < sb
 	}
-	return a.ID < b.ID
+	if a.ID != b.ID {
+		return a.ID < b.ID
+	}
+	return a.Seq < b.Seq
 }
 
 func (t *FlowTracer) heapPush(r *FlowRecord) {
@@ -592,8 +602,11 @@ func (t *FlowTracer) attribute(recs []*FlowRecord) []LinkLoss {
 
 // flowJSON is the JSONL "flow" line (and /flows entry).
 type flowJSON struct {
-	Type      string     `json:"type"`
-	ID        int        `json:"id"`
+	Type string `json:"type"`
+	ID   int    `json:"id"`
+	// Seq disambiguates records whose engine id was recycled (see
+	// FlowRecord.Seq).
+	Seq       uint64     `json:"seq"`
 	SizeBytes int64      `json:"size_bytes"`
 	Arrive    float64    `json:"arrive"`
 	Finish    float64    `json:"finish,omitempty"`
@@ -622,6 +635,7 @@ func (t *FlowTracer) flowJSON(r *FlowRecord) flowJSON {
 	j := flowJSON{
 		Type:      "flow",
 		ID:        r.ID,
+		Seq:       r.Seq,
 		SizeBytes: r.SizeBytes,
 		Arrive:    r.Arrive,
 		Finished:  r.Finished,

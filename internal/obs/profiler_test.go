@@ -7,8 +7,11 @@ import (
 
 func TestProfilerLapTiling(t *testing.T) {
 	p := NewPhaseProfiler()
-	p.Arm()
+	// start must precede Arm: the phase sum's origin is Arm's internal
+	// timestamp, so elapsed only bounds it from above if its own origin
+	// comes first (the reverse order flakes by the Arm→Now gap).
 	start := Now()
+	p.Arm()
 	time.Sleep(2 * time.Millisecond)
 	p.Lap(PhaseSolve)
 	time.Sleep(1 * time.Millisecond)
