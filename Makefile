@@ -1,6 +1,6 @@
 # Convenience targets; CI runs the same commands.
 
-.PHONY: test race leap-race-matrix alloc-gate fuzz bench-smoke bench-json flowtrace-smoke
+.PHONY: test race leap-race-matrix alloc-gate fuzz fault-smoke bench-smoke bench-json flowtrace-smoke
 
 test:
 	go build ./... && go test ./...
@@ -11,10 +11,12 @@ race:
 # The PDES window correctness matrix CI runs cell by cell: the leap
 # package's full suite under -race across worker counts × window
 # off/on, pinned via the LEAP_TEST_* environment knobs.
+# LEAP_TEST_FAULTS=1 bounds the fault property sweep to one seed per
+# cell (the cell's (workers, window) pin still applies to it).
 leap-race-matrix:
 	for w in 1 2 8; do for win in 1 8; do \
 		echo "=== workers=$$w window=$$win"; \
-		LEAP_TEST_WORKERS=$$w LEAP_TEST_WINDOW=$$win go test -race ./internal/leap/ || exit 1; \
+		LEAP_TEST_WORKERS=$$w LEAP_TEST_WINDOW=$$win LEAP_TEST_FAULTS=1 go test -race ./internal/leap/ || exit 1; \
 	done; done
 
 # The zero-allocation steady-state pins: AllocsPerOp == 0 for a full
@@ -24,11 +26,22 @@ leap-race-matrix:
 alloc-gate:
 	go test -v -run 'TestAllocsPerOpSteadyState|TestReleaseFinishedRecycles|TestSteadyStateAllocations|TestPoolSteadyStateAllocations' -count=1 ./internal/leap/
 
-# Explore the windowed-vs-serial fuzz target beyond its committed seed
-# corpus (CI runs 30s per push; run longer locally when touching the
-# event loop).
+# Explore the windowed-vs-serial and fault-injection fuzz targets
+# beyond their committed seed corpora (CI runs 30s per target per
+# push; run longer locally when touching the event loop or the fault
+# path).
 fuzz:
 	go test -run '^$$' -fuzz FuzzWindowedMatchesSerial -fuzztime 60s ./internal/leap/
+	go test -run '^$$' -fuzz FuzzFaultSchedule -fuzztime 60s ./internal/leap/
+
+# Fault-injection smoke: the leap fault test suite (property, analytic,
+# and lost-service identity tests) plus the end-to-end example —
+# scripted switch/link faults, stranded-flow resume, byte-identical
+# parallel windowed replay.
+fault-smoke:
+	go test -run 'TestFault|TestStranded|TestNested|TestSameInstant|TestAllocatorsZeroCapacity|TestAllocatorCapacityRecovery|TestGroupResplitOnDeadLink' \
+		-count=1 ./internal/leap/ ./internal/fluid/
+	go run ./examples/leapfail
 
 # One full iteration of each leap benchmark, with their built-in
 # accuracy/identity assertions.

@@ -24,8 +24,14 @@
 //
 //	go run ./cmd/benchjson [-out BENCH_leap.json] [-flows 200000]
 //	    [-load 0.1] [-workers 1,2,4,0] [-window 8] [-repeat 1]
-//	    [-workloads coflows,poisson] [-seed 1] [-rev <git describe>]
-//	    [-cpuprofile cpu.out] [-memprofile mem.out]
+//	    [-workloads coflows,poisson] [-faultrate 0] [-seed 1]
+//	    [-rev <git describe>] [-cpuprofile cpu.out] [-memprofile mem.out]
+//
+// -faultrate N adds a "poisson-faults" cell group: the poisson
+// workload under a seeded Poisson link-failure process at N failures
+// per second (5 ms mean downtime), with its own serial baseline chain
+// — fault runs too must be bitwise identical across the matrix — and
+// the engine's degradation counters recorded per run.
 //
 // Each run also carries a per-phase wall-time breakdown of the event
 // loop (obs.PhaseProfiler: admit/flood/solve/resplice/complete/drain/
@@ -114,6 +120,14 @@ type Run struct {
 	MaxComponent        int     `json:"max_component"`
 	FinishedFlows       int     `json:"finished_flows"`
 	MedianNormFCTX64    float64 `json:"median_norm_fct"`
+	// FaultRate/Faults/Stranded/Resumed describe the optional
+	// fault-injection cell (-faultrate): the seeded link-failure rate
+	// the run played under and the engine's degradation counters. All
+	// zero in fault-free cells.
+	FaultRate float64 `json:"fault_rate,omitempty"`
+	Faults    int     `json:"faults,omitempty"`
+	Stranded  int     `json:"stranded,omitempty"`
+	Resumed   int     `json:"resumed,omitempty"`
 	// Phases breaks the run's in-Run wall time down by event-loop phase
 	// (obs.PhaseProfiler laps, nanoseconds; zero phases omitted), and
 	// PhaseCoverage is their sum over the measured wall time — the laps
@@ -155,6 +169,7 @@ func main() {
 	windowDepth := flag.Int("window", 8, "PDES lookahead depth for the windowed cells (cells at window 1 always run too)")
 	repeat := flag.Int("repeat", 1, "plays per cell; the minimum wall time is recorded")
 	workloads := flag.String("workloads", "coflows,poisson", "comma-separated workloads (coflows, poisson)")
+	faultRate := flag.Float64("faultrate", 0, "add a poisson-faults cell group at this link-failure rate (failures/s; 0 disables)")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	rev := flag.String("rev", "", "source revision to record in the report (e.g. git describe)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of all runs to this file")
@@ -241,33 +256,24 @@ func main() {
 		Repeat:      max(*repeat, 1),
 		Seed:        *seed,
 	}
-	for _, name := range names {
-		var arrivals []workload.Arrival
-		var paths [][]int
-		switch name {
-		case "coflows":
-			arrivals, paths = harness.FatTreeCoflows(ft, *load, *flows, senders, bursts, sim.NewRNG(*seed))
-		case "poisson":
-			arrivals, paths = harness.FatTreeWebSearch(ft, *load, *flows, sim.NewRNG(*seed))
-		default:
-			fmt.Fprintf(os.Stderr, "benchjson: unknown workload %q (want coflows or poisson)\n", name)
-			os.Exit(2)
-		}
+	// measure runs one workload's full (workers × window) matrix.
+	//
+	// Cells that clamp to the same effective (workers, window)
+	// configuration run byte-identical code, so each unique group is
+	// measured once and mirrored into every requested cell — on a
+	// core-starved host, workers=4 IS the serial run, and measuring
+	// it separately would report host jitter as a cost. Plays are
+	// interleaved round-robin across the groups (every group plays
+	// once, then every group again, ...) so slow drift in the host —
+	// heap growth, cache state — lands evenly instead of skewing the
+	// groups that happen to run last; each group keeps its fastest
+	// play. The first play (serial) records the finish-time baseline
+	// every later play is checked against bitwise — each workload
+	// (faulted ones included) owns its baseline chain.
+	measure := func(name string, arrivals []workload.Arrival, paths [][]int, faults []workload.Fault, frate float64) {
 		if rep.Flows == 0 {
 			rep.Flows = len(arrivals)
 		}
-
-		// Cells that clamp to the same effective (workers, window)
-		// configuration run byte-identical code, so each unique group is
-		// measured once and mirrored into every requested cell — on a
-		// core-starved host, workers=4 IS the serial run, and measuring
-		// it separately would report host jitter as a cost. Plays are
-		// interleaved round-robin across the groups (every group plays
-		// once, then every group again, ...) so slow drift in the host —
-		// heap growth, cache state — lands evenly instead of skewing the
-		// groups that happen to run last; each group keeps its fastest
-		// play. The first play (serial) records the finish-time baseline
-		// every later play is checked against bitwise.
 		type cell struct {
 			workers, window int
 		}
@@ -293,7 +299,7 @@ func main() {
 		var baseFinish []float64
 		for play := 0; play < rep.Repeat; play++ {
 			for gi, g := range groups {
-				r := playOnce(ft, arrivals, paths, g.workers, g.window, linkRate, &baseFinish)
+				r := playOnce(ft, arrivals, paths, faults, g.workers, g.window, linkRate, &baseFinish)
 				if play == 0 || r.WallSeconds < best[gi].WallSeconds {
 					best[gi] = r
 				}
@@ -304,8 +310,38 @@ func main() {
 			r.Workload = name
 			r.Workers = c.workers
 			r.EffectiveWorkers = leap.EffectiveWorkers(c.workers)
+			r.FaultRate = frate
 			rep.Runs = append(rep.Runs, r)
 		}
+	}
+
+	for _, name := range names {
+		var arrivals []workload.Arrival
+		var paths [][]int
+		switch name {
+		case "coflows":
+			arrivals, paths = harness.FatTreeCoflows(ft, *load, *flows, senders, bursts, sim.NewRNG(*seed))
+		case "poisson":
+			arrivals, paths = harness.FatTreeWebSearch(ft, *load, *flows, sim.NewRNG(*seed))
+		default:
+			fmt.Fprintf(os.Stderr, "benchjson: unknown workload %q (want coflows or poisson)\n", name)
+			os.Exit(2)
+		}
+		measure(name, arrivals, paths, nil, 0)
+	}
+	if *faultRate > 0 {
+		arrivals, paths := harness.FatTreeWebSearch(ft, *load, *flows, sim.NewRNG(*seed))
+		horizon := sim.Duration(0)
+		if len(arrivals) > 0 {
+			horizon = sim.Duration(arrivals[len(arrivals)-1].At)
+		}
+		faults := workload.FaultSchedule(workload.FaultConfig{
+			Links:        ft.Net.Links(),
+			Rate:         *faultRate,
+			MeanDowntime: 5 * sim.Millisecond,
+			Horizon:      horizon,
+		}, sim.NewRNG(*seed+0x9e3779b9))
+		measure("poisson-faults", arrivals, paths, faults, *faultRate)
 	}
 
 	// Speedups are computed once a workload's runs are all in. The
@@ -353,7 +389,13 @@ func main() {
 // baseline's finish times; every later call verifies its own bitwise
 // against them and aborts the report on any divergence.
 func playOnce(ft *fluid.FatTree, arrivals []workload.Arrival, paths [][]int,
-	workers, window int, linkRate float64, baseFinish *[]float64) Run {
+	faults []workload.Fault, workers, window int, linkRate float64, baseFinish *[]float64) Run {
+	// Faults mutate link capacities in place, so a faulted play gets a
+	// fresh topology; the construction is deterministic, so the
+	// precomputed paths (link IDs) stay valid.
+	if faults != nil {
+		ft = fluid.NewFatTree(ft.K, ft.Rate)
+	}
 	// A fresh profiler per play keeps the breakdown scoped to the play
 	// that produced the recorded wall time.
 	prof := obs.NewPhaseProfiler()
@@ -364,6 +406,7 @@ func playOnce(ft *fluid.FatTree, arrivals []workload.Arrival, paths [][]int,
 		LinkShards: ft.LinkShards(),
 		Obs:        obs.Hooks{Profiler: prof},
 	})
+	harness.ScheduleFaults(eng, faults)
 	engFlows := make([]*fluid.Flow, len(arrivals))
 	for i, a := range arrivals {
 		engFlows[i] = eng.AddFlow(paths[i], core.ProportionalFair(), a.Size, a.At.Seconds())
@@ -425,6 +468,9 @@ func playOnce(ft *fluid.FatTree, arrivals []workload.Arrival, paths [][]int,
 		WindowConflicts:     s.WindowConflicts,
 		MaxComponent:        s.MaxComponent,
 		FinishedFlows:       fin,
+		Faults:              s.Faults,
+		Stranded:            s.Stranded,
+		Resumed:             s.Resumed,
 		MedianNormFCTX64:    stats.Median(norm),
 		Phases:              obs.PhaseMap(nanos),
 		PhaseCoverage:       float64(prof.TotalNanos()) / (best * 1e9),

@@ -26,6 +26,7 @@ import (
 	"os"
 	"sort"
 	"strconv"
+	"strings"
 )
 
 // The line types mirror the JSONL schema obs.FlowTracer.WriteJSONL
@@ -252,8 +253,14 @@ func main() {
 				util = fmt.Sprintf("%8.1f%%", 100*u.AvgUtil)
 				peak = fmt.Sprintf("%8.1f%%", 100*u.PeakUtil)
 			}
+			label := nameOf(a.name, l)
+			// A link whose trace reports zero capacity ended the run
+			// failed; mark it unless the trace's label already does.
+			if hasU && u.Capacity <= 0 && !strings.Contains(label, "(dead)") {
+				label += " (dead)"
+			}
 			fmt.Printf("%-28s %14.6g %6.1f%% %7d %9s %9s\n",
-				nameOf(a.name, l), a.lost, 100*share, a.flows, util, peak)
+				label, a.lost, 100*share, a.flows, util, peak)
 		}
 	}
 

@@ -7,7 +7,12 @@
 //
 // Experiments: table1, table2, fig2, fig4a, fig4bc, fig5a, fig5b,
 // fig6a, fig6b, fig6c, fig7, fig8, fig9, fig10, fattree, fluidsweep,
-// fluidpooling, leapfct, all.
+// fluidpooling, leapfct, leapfail, all.
+//
+// leapfail injects link failures into the leap engine: a seeded random
+// failure/recovery process swept across failure rates, or — with
+// -faults "target@time[+downtime],..." — a scripted list of link/
+// switch faults (targets linkN, hostN, edgeP.E, aggP.A, coreC).
 //
 // -workers bounds the leap engine's parallel solves of the disjoint
 // link-sharing components touched by one event batch (0, the default,
@@ -68,6 +73,10 @@ var workers int
 // -window (0/1 = instant-at-a-time).
 var window int
 
+// faultSpec is the scripted fault list selected via -faults (the
+// leapfail experiment's scripted mode).
+var faultSpec string
+
 // cliObs holds the observability hooks built from -debug-addr and
 // -trace-out; experiments hand it to every engine they build. With
 // neither flag set every hook is nil and the engines skip all
@@ -95,13 +104,14 @@ func writeCSV(name string, t *trace.Table) {
 }
 
 func main() {
-	exp := flag.String("experiment", "all", "experiment id (table1, table2, fig2, fig4a, fig4bc, fig5a, fig5b, fig6a, fig6b, fig6c, fig7, fig8, fig9, fig10, fattree, fluidsweep, fluidpooling, leapfct, all)")
+	exp := flag.String("experiment", "all", "experiment id (table1, table2, fig2, fig4a, fig4bc, fig5a, fig5b, fig6a, fig6b, fig6c, fig7, fig8, fig9, fig10, fattree, fluidsweep, fluidpooling, leapfct, leapfail, all)")
 	scale := flag.String("scale", "scaled", "\"scaled\" (32 hosts, fast) or \"full\" (paper scale, slow)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	out := flag.String("out", "", "directory for CSV output (optional)")
 	eng := flag.String("engine", "packet", "\"packet\" (discrete-event simulator), \"fluid\" (flow-level fast path), or \"leap\" (event-driven fast path) for fig4a/fig5a/fig5b/fig7/fig8")
 	w := flag.Int("workers", 0, "goroutines for the leap engine's parallel component solves (0 = one per core, 1 = serial; FCTs are identical either way)")
 	win := flag.Int("window", 0, "leap engine PDES lookahead depth: link-disjoint event instants one cross-time window may solve together (0/1 = instant-at-a-time; FCTs are identical at any depth)")
+	faults := flag.String("faults", "", "scripted faults for the leapfail experiment: comma-separated target@time[+downtime] entries, e.g. \"link12@10ms+5ms,agg0.1@20ms\" (targets linkN, hostN, edgeP.E, aggP.A, coreC; no downtime = permanent)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /progress, /debug/pprof and /debug/vars on this address while experiments run (e.g. localhost:6060)")
 	debugHold := flag.Duration("debug-hold", 0, "keep the -debug-addr server alive this long after the experiments finish")
 	traceOut := flag.String("trace-out", "", "write a Chrome-trace (chrome://tracing / Perfetto) timeline of engine batches and per-worker component solves to this file")
@@ -114,6 +124,7 @@ func main() {
 	outDir = *out
 	workers = *w
 	window = *win
+	faultSpec = *faults
 	var err error
 	if engine, err = harness.ParseEngine(*eng); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -239,7 +250,8 @@ func main() {
 		"fig4a": true, "fig4bc": true, "fig5a": true, "fig5b": true,
 		"fig6a": true, "fig6b": true, "fig6c": true, "fig7": true,
 		"fig8": true, "fig9": true, "fig10": true, "fattree": true,
-		"fluidsweep": true, "fluidpooling": true, "leapfct": true, "all": true}
+		"fluidsweep": true, "fluidpooling": true, "leapfct": true,
+		"leapfail": true, "all": true}
 	if !known[*exp] {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -263,6 +275,7 @@ func main() {
 	run("fluidsweep", runFluidSweep)
 	run("fluidpooling", runFluidPooling)
 	run("leapfct", runLeapFCT)
+	run("leapfail", runLeapFail)
 }
 
 func semiCfg(s harness.Scheme, full bool, seed uint64) harness.SemiDynamicConfig {

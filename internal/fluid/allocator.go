@@ -445,6 +445,12 @@ func (a *XWI) allocate(net *Network, flows []*Flow, rates []float64, subset bool
 	for _, c := range net.Capacity {
 		maxCap = math.Max(maxCap, c)
 	}
+	if maxCap <= 0 {
+		// Every link dead (fault injection can zero whole components):
+		// keep the weight window and tolerance scale finite; rates are
+		// forced to zero by the max-min step regardless.
+		maxCap = 1
+	}
 	wMin, wMax := 1e-3, 100*maxCap
 
 	if len(a.price) != nl {
@@ -549,6 +555,12 @@ func (a *XWI) allocate(net *Network, flows []*Flow, rates []float64, subset bool
 			}
 		}
 		for _, l := range touched {
+			if net.Capacity[l] <= 0 {
+				// Failed link: utilization is undefined (0/0) and no
+				// price can admit traffic. Hold the price so a recovery
+				// warm-starts from the pre-fault dual.
+				continue
+			}
 			pres := price[l] + minRes[l]
 			u := load[l] / net.Capacity[l]
 			pnew := pres - eta*(1-u)*price[l]
@@ -713,6 +725,12 @@ func (a *DGD) allocate(net *Network, flows []*Flow, rates []float64, subset bool
 	maxCap := 0.0
 	for _, c := range net.Capacity {
 		maxCap = math.Max(maxCap, c)
+	}
+	if maxCap <= 0 {
+		// All-dead network: keep the step size and demand cap finite
+		// (Marginal(0) may be +Inf); projectFeasible still forces every
+		// rate on a zero-capacity link to exactly zero.
+		maxCap = 1
 	}
 	if len(a.price) != nl {
 		a.price = initPrices(net, flows)
@@ -930,13 +948,25 @@ func initPrices(net *Network, flows []*Flow) []float64 {
 	if len(flows) > 0 {
 		f0 := flows[0]
 		l0 := f0.Links[0]
-		fair := net.Capacity[l0] / math.Max(1, float64(cnt[l0]))
+		capl := net.Capacity[l0]
+		if capl <= 0 {
+			// Dead representative link (fault injection): scale against
+			// the largest live capacity instead, so prices still land
+			// near a realistic marginal. All-dead nets keep capl == 0
+			// and skip scaling below — every rate is zero regardless.
+			for _, c := range net.Capacity {
+				capl = math.Max(capl, c)
+			}
+		}
+		fair := capl / math.Max(1, float64(cnt[l0]))
 		target := f0.U.Marginal(fair)
 		sum := 0.0
 		for _, l := range f0.Links {
 			sum += price[l]
 		}
-		if sum > 0 && target > 0 {
+		// A dead first link makes fair == 0 and Marginal(0) can be
+		// +Inf; an infinite scale would poison every price.
+		if sum > 0 && target > 0 && !math.IsInf(target, 1) {
 			scale := target / sum
 			for l := range price {
 				price[l] *= scale

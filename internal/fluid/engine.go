@@ -105,6 +105,13 @@ type Stats struct {
 	PhaseNanos [obs.PhaseCount]int64
 }
 
+// InvalidateAllocation marks the cached allocation stale. Callers
+// that mutate link capacities in place (fault injection zeroing a
+// failed link, recovery restoring it) must invoke it: a stationary
+// allocator otherwise reuses rates computed under the old capacities
+// until a flow arrives or departs.
+func (e *Engine) InvalidateAllocation() { e.changed = true }
+
 // Stats returns the engine's work telemetry so far.
 func (e *Engine) Stats() Stats {
 	s := Stats{

@@ -182,6 +182,17 @@ func (t *FatTree) LinkName(l int) string {
 	return t.names[l]
 }
 
+// LinkLabel is LinkName plus a " (dead)" marker when the link's
+// current capacity is zero — a failed link under fault injection.
+// Out-of-range ids fall back to LinkName's "link N" form, unmarked.
+func (t *FatTree) LinkLabel(l int) string {
+	name := t.LinkName(l)
+	if l >= 0 && l < t.Net.Links() && t.Net.Capacity[l] <= 0 {
+		return name + " (dead)"
+	}
+	return name
+}
+
 func (t *FatTree) buildNames() {
 	half := t.K / 2
 	t.names = make([]string, t.Net.Links())
@@ -206,6 +217,69 @@ func (t *FatTree) buildNames() {
 			}
 		}
 	}
+}
+
+// HostLinks returns host h's two directed links (up, down) — the set
+// a host NIC failure takes down.
+func (t *FatTree) HostLinks(h int) []int {
+	if h < 0 || h >= t.Hosts() {
+		panic(fmt.Sprintf("fluid: fat-tree host %d out of range [0,%d)", h, t.Hosts()))
+	}
+	return []int{t.hostUp[h], t.hostDown[h]}
+}
+
+// EdgeSwitchLinks returns every directed link incident to edge switch
+// (pod, e): the host links of its k/2 hosts and its up/down links to
+// each aggregation switch. Failing a switch means failing exactly this
+// set.
+func (t *FatTree) EdgeSwitchLinks(pod, e int) []int {
+	half := t.K / 2
+	if pod < 0 || pod >= t.K || e < 0 || e >= half {
+		panic(fmt.Sprintf("fluid: fat-tree edge switch %d.%d out of range", pod, e))
+	}
+	links := make([]int, 0, 4*half)
+	for i := 0; i < half; i++ {
+		h := pod*half*half + e*half + i
+		links = append(links, t.hostUp[h], t.hostDown[h])
+	}
+	for a := 0; a < half; a++ {
+		links = append(links, t.edgeUp[pod][e][a], t.edgeDown[pod][a][e])
+	}
+	return links
+}
+
+// AggSwitchLinks returns every directed link incident to aggregation
+// switch (pod, a): its up/down links to each edge switch and to each
+// of its k/2 cores.
+func (t *FatTree) AggSwitchLinks(pod, a int) []int {
+	half := t.K / 2
+	if pod < 0 || pod >= t.K || a < 0 || a >= half {
+		panic(fmt.Sprintf("fluid: fat-tree agg switch %d.%d out of range", pod, a))
+	}
+	links := make([]int, 0, 4*half)
+	for e := 0; e < half; e++ {
+		links = append(links, t.edgeUp[pod][e][a], t.edgeDown[pod][a][e])
+	}
+	for c := 0; c < half; c++ {
+		links = append(links, t.aggUp[pod][a][c], t.aggDown[pod][a][c])
+	}
+	return links
+}
+
+// CoreSwitchLinks returns every directed link incident to core switch
+// core ∈ [0, (k/2)²): its up/down links to the one aggregation switch
+// it reaches in each pod (core a·half+c attaches to agg a).
+func (t *FatTree) CoreSwitchLinks(core int) []int {
+	half := t.K / 2
+	if core < 0 || core >= half*half {
+		panic(fmt.Sprintf("fluid: fat-tree core switch %d out of range [0,%d)", core, half*half))
+	}
+	a, c := core/half, core%half
+	links := make([]int, 0, 2*t.K)
+	for p := 0; p < t.K; p++ {
+		links = append(links, t.aggUp[p][a][c], t.aggDown[p][a][c])
+	}
+	return links
 }
 
 // PathCount returns the size of the ECMP path set between hosts src

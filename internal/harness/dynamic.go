@@ -60,8 +60,14 @@ type DynamicConfig struct {
 	// Obs attaches observability hooks (phase profiler, tracer, live
 	// progress, metrics) to the flow-level engines; the packet engine
 	// ignores it. Nil hooks cost nothing and never change results.
-	Obs  obs.Hooks
-	Seed uint64
+	Obs obs.Hooks
+	// Faults schedules link failure/recovery events (leap engine only:
+	// RunDynamicLeap feeds them through leap.Engine.FailLink/
+	// RecoverLink before the run; the packet and fluid epoch engines
+	// ignore them). Link ids index the topology's directed links, as
+	// flow paths do.
+	Faults []workload.Fault
+	Seed   uint64
 }
 
 // DefaultDynamic returns a scaled dynamic-workload config.

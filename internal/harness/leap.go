@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"math"
 	"runtime"
 
@@ -102,12 +103,77 @@ func FatTreeCoflows(ft *fluid.FatTree, load float64, nflows, senders, bursts int
 // each event batch concurrently; FCTs are byte-identical regardless.
 func RunDynamicLeap(cfg DynamicConfig) DynamicResult {
 	topo := NewFluidTopology(cfg.Topo)
-	return runDynamicFlowEngine(cfg, topo, leap.NewEngine(FluidNetwork(topo), leap.Config{
+	leng := leap.NewEngine(FluidNetwork(topo), leap.Config{
 		Allocator: LeapAllocatorFor(cfg.Scheme),
 		Workers:   LeapWorkers(cfg.Workers),
 		Window:    cfg.Window,
 		Obs:       cfg.Obs,
-	}))
+	})
+	ScheduleFaults(leng, cfg.Faults)
+	return runDynamicFlowEngine(cfg, topo, leng)
+}
+
+// ScheduleFaults feeds a fault schedule into a leap engine's event
+// heap; the engine retires each fault at its instant (failures zero
+// the link's capacity and strand the flows crossing it, recoveries
+// restore it and resume them).
+func ScheduleFaults(e *leap.Engine, faults []workload.Fault) {
+	for _, f := range faults {
+		if f.Fail {
+			e.FailLink(f.Link, f.At.Seconds())
+		} else {
+			e.RecoverLink(f.Link, f.At.Seconds())
+		}
+	}
+}
+
+// ExpandFaults resolves a scripted fault list against a fat-tree: each
+// target becomes the concrete fault events for every incident link
+// (Down > 0 adds the matching recoveries), sorted in retirement order.
+func ExpandFaults(ft *fluid.FatTree, scripted []workload.ScriptedFault) ([]workload.Fault, error) {
+	var out []workload.Fault
+	for _, sf := range scripted {
+		kind, i, j, err := workload.ParseFaultTarget(sf.Target)
+		if err != nil {
+			return nil, err
+		}
+		var links []int
+		switch kind {
+		case "link":
+			if i >= ft.Net.Links() {
+				return nil, fmt.Errorf("harness: fault target %q: link out of range [0,%d)", sf.Target, ft.Net.Links())
+			}
+			links = []int{i}
+		case "host":
+			if i >= ft.Hosts() {
+				return nil, fmt.Errorf("harness: fault target %q: host out of range [0,%d)", sf.Target, ft.Hosts())
+			}
+			links = ft.HostLinks(i)
+		case "edge", "agg":
+			if i >= ft.K || j >= ft.K/2 {
+				return nil, fmt.Errorf("harness: fault target %q: want pod < %d, switch < %d", sf.Target, ft.K, ft.K/2)
+			}
+			if kind == "edge" {
+				links = ft.EdgeSwitchLinks(i, j)
+			} else {
+				links = ft.AggSwitchLinks(i, j)
+			}
+		case "core":
+			if n := ft.K * ft.K / 4; i >= n {
+				return nil, fmt.Errorf("harness: fault target %q: core out of range [0,%d)", sf.Target, n)
+			}
+			links = ft.CoreSwitchLinks(i)
+		}
+		at := sim.Time(0).Add(sf.At)
+		for _, l := range links {
+			out = append(out, workload.Fault{At: at, Link: l, Fail: true})
+			if sf.Down > 0 {
+				out = append(out, workload.Fault{At: at.Add(sf.Down), Link: l, Fail: false})
+			}
+		}
+	}
+	workload.SortFaults(out)
+	return out, nil
 }
 
 // IncastConfig parameterizes the §6.1-style incast scenario: bursts of

@@ -1,15 +1,31 @@
 package leap
 
-// event is one scheduled completion: a finite flow or a finite group
-// emptying at time t under the rate set when the event was pushed. ep
-// is the owner's reallocation epoch at push time; when a component is
-// re-solved the engine bumps its members' epochs, so events from
-// superseded allocations go stale in place and are discarded lazily
-// when they surface at the top of the heap (or in a compaction sweep)
-// instead of costing an O(n) heap rebuild per allocation. Ties break
-// deterministically on (id, kind): flow and group IDs are each dense
-// in their own sequence, so two events can share an id across kinds,
-// and before() then orders the flow ahead of the group.
+// The event kinds. evkFlow and evkGroup are completions (id is a
+// dense flow/group table id); evkFail and evkRecover are scheduled
+// capacity faults (id is a LINK id — never resolved through the flow
+// tables). Fault events carry no epoch: a capacity change can never
+// go stale, so valid() accepts them unconditionally.
+const (
+	evkFlow uint8 = iota
+	evkGroup
+	evkFail
+	evkRecover
+)
+
+// event is one scheduled occurrence: a finite flow or group emptying
+// at time t under the rate set when the event was pushed, or a link
+// failing/recovering at t. ep is a completion owner's reallocation
+// epoch at push time; when a component is re-solved the engine bumps
+// its members' epochs, so events from superseded allocations go stale
+// in place and are discarded lazily when they surface at the top of
+// the heap (or in a compaction sweep) instead of costing an O(n) heap
+// rebuild per allocation. Ties break deterministically on (id, kind):
+// flow and group IDs are each dense in their own sequence, so two
+// events can share an id across kinds, and before() then orders the
+// flow ahead of the group — and orders every completion ahead of any
+// fault at the same instant (flows retire under the capacities they
+// drained under; the fault then mutates capacity for the re-solve
+// that follows), with failures ahead of recoveries, then by link id.
 //
 // Events carry the owner's dense id, not a pointer — 16 bytes instead
 // of 40, and the id stays meaningful under table recycling
@@ -17,22 +33,30 @@ package leap
 // epoch, so the old tenant's events are stale on arrival. The engine
 // resolves owners through its tables when an event surfaces.
 type event struct {
-	t   float64
-	ep  uint32
-	id  int32
-	grp bool // group event (resolve id via the group table)
+	t    float64
+	ep   uint32
+	id   int32
+	kind uint8 // evkFlow | evkGroup | evkFail | evkRecover
 }
 
 func (e event) before(o event) bool {
 	if e.t != o.t {
 		return e.t < o.t
 	}
+	if e.kind >= evkFail || o.kind >= evkFail {
+		// Faults sort after every completion at their instant;
+		// among faults: failures first, then by link id.
+		if e.kind != o.kind {
+			return e.kind < o.kind
+		}
+		return e.id < o.id
+	}
 	if e.id != o.id {
 		return e.id < o.id
 	}
 	// Same id across kinds (a flow and a group may share an id):
 	// flows first.
-	return !e.grp && o.grp
+	return e.kind == evkFlow && o.kind == evkGroup
 }
 
 // eventHeap is a binary min-heap of completion events keyed on

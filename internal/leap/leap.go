@@ -328,8 +328,34 @@ type Stats struct {
 	MaxWindowComponents int
 	// WindowConflicts counts windows cut short by the safety bound —
 	// an instant whose component overlapped one already claimed by an
-	// earlier instant in the same window.
+	// earlier instant in the same window, or a pending fault instant
+	// (capacity mutation invalidates claims taken over the pre-fault
+	// capacities, so a fault always ends the window it lands in).
 	WindowConflicts int
+	// Faults is how many fault events (FailLink/RecoverLink) the
+	// engine applied, nested repeats and no-op recoveries included.
+	Faults int
+	// Stranded counts plain finite flows driven to rate zero — every
+	// usable path crosses a dead link — with their completion event
+	// invalidated and payload frozen; Resumed counts strandings lifted
+	// by a later re-solve finding positive rate again (recovery, or a
+	// departure freeing an alternative). A flow stranded twice counts
+	// twice. Groups never strand member-by-member: a group with every
+	// member dead simply holds total rate zero until recovery.
+	Stranded int
+	Resumed  int
+	// StrandedSec is the total flow-seconds spent stranded, accrued
+	// when each stranding is lifted — flows still stranded when the
+	// run stops are not included (their loss is visible as unfinished
+	// Remaining instead).
+	StrandedSec float64
+	// CapacityLostBitSec integrates failed capacity over downtime:
+	// Σ base-capacity × (recover − fail) over recovered links, in
+	// bit-seconds. Links still down when the run stops are not
+	// included; LinksDown reports how many those are.
+	CapacityLostBitSec float64
+	// LinksDown is the number of links currently failed (depth ≥ 1).
+	LinksDown int
 	// AllocIters is the allocator's total internal iterations (price
 	// updates, gradient steps, solver iterations) when the allocator
 	// counts them (implements fluid.IterCounter); zero otherwise.
@@ -360,20 +386,25 @@ type flowState struct {
 	seq  int32
 }
 
-// flowState/groupState bits: three flags and a 29-bit epoch. evBit
+// flowState/groupState bits: four flags and a 28-bit epoch. evBit
 // marks a live heap event, seededBit a pending reallocation seed,
 // inCompBit membership in the component being collected. Groups never
 // use inCompBit (the flood tracks them by mark), so its slot doubles
 // as activeBit — group membership in the activeGroups slice, replacing
 // the old map[*Group]bool lookup on every member admission.
+// strandedBit marks a plain finite flow currently held at rate zero by
+// dead capacity (see Stats.Stranded); while it is set the flow has no
+// heap event and refT records when the stranding began, so the resume
+// can accrue the stranded-time integral.
 const (
-	evBit     = 1 << 0
-	seededBit = 1 << 1
-	inCompBit = 1 << 2
-	activeBit = 1 << 2 // groupState only; shares inCompBit's slot
-	epShift   = 3
-	epInc     = 1 << epShift
-	epMask    = ^uint32(epInc - 1)
+	evBit       = 1 << 0
+	seededBit   = 1 << 1
+	inCompBit   = 1 << 2
+	activeBit   = 1 << 2 // groupState only; shares inCompBit's slot
+	strandedBit = 1 << 3
+	epShift     = 4
+	epInc       = 1 << epShift
+	epMask      = ^uint32(epInc - 1)
 )
 
 // groupState is the per-group analog: mark is the component flood's
@@ -418,11 +449,16 @@ type evOp struct {
 }
 
 // compResult is one component's solve outcome: the resplice ops it
-// produced and how many flows its allocator call covered (zero for an
-// elided size-one component).
+// produced, how many flows its allocator call covered (zero for an
+// elided size-one component), and the stranding transitions the rate
+// install observed (accumulated per component so the concurrent
+// pre-apply stays race-free; the serial reduce sums them).
 type compResult struct {
-	ops    []evOp
-	solved int
+	ops         []evOp
+	solved      int
+	stranded    int
+	resumed     int
+	strandedSec float64
 }
 
 // Engine advances a fluid network event by event. Between events every
@@ -581,6 +617,32 @@ type Engine struct {
 	winEv    []event
 	winBuf   floodBuf
 
+	// Fault-injection state, lazily allocated by the first
+	// FailLink/RecoverLink call so fault-free runs keep their
+	// zero-alloc steady state untouched. baseCap snapshots the
+	// capacities recovery restores; downDepth[l] counts nested
+	// failures of link l (capacity changes only on the 0↔1 edges);
+	// capDownT[l] stamps when l last went down, for the capacity-lost
+	// integral; pendingFaults counts scheduled fault events not yet
+	// applied, so the idle early-exit cannot drop a future fault.
+	baseCap       []float64
+	downDepth     []int32
+	capDownT      []float64
+	pendingFaults int
+	faults        int
+	stranded      int
+	resumed       int
+	strandedSec   float64
+	capLostBitSec float64
+	linksDown     int
+	// batchCause is the FlowTracer cause code the next solve's rate
+	// segments are stamped with: CauseSolve normally, CauseFail or
+	// CauseRecover for the re-solve a fault event triggers (fault
+	// instants solve alone — completions at the same instant retire
+	// first and the windowed loop bounds windows at faults — so the
+	// stamp is exact). Reset to CauseSolve after every solve point.
+	batchCause uint8
+
 	events    int
 	allocs    int
 	solved    int
@@ -639,14 +701,15 @@ func NewEngine(net *fluid.Network, cfg Config) *Engine {
 		gtbl = fluid.NewGroupTable()
 	}
 	e := &Engine{
-		net:     net,
-		alloc:   cfg.Allocator,
-		tbl:     tbl,
-		gtbl:    gtbl,
-		global:  cfg.Global || !ok,
-		workers: cfg.Workers,
-		sweep:   cfg.SweepThreshold,
-		window:  cfg.Window,
+		net:        net,
+		alloc:      cfg.Allocator,
+		tbl:        tbl,
+		gtbl:       gtbl,
+		global:     cfg.Global || !ok,
+		workers:    cfg.Workers,
+		sweep:      cfg.SweepThreshold,
+		window:     cfg.Window,
+		batchCause: obs.CauseSolve,
 	}
 	if e.global {
 		// A global re-solve is one component spanning everything:
@@ -933,6 +996,12 @@ func (e *Engine) Stats() Stats {
 		WindowComponents:        e.winComps,
 		MaxWindowComponents:     e.maxWinComps,
 		WindowConflicts:         e.winConflicts,
+		Faults:                  e.faults,
+		Stranded:                e.stranded,
+		Resumed:                 e.resumed,
+		StrandedSec:             e.strandedSec,
+		CapacityLostBitSec:      e.capLostBitSec,
+		LinksDown:               e.linksDown,
 	}
 	if ic, ok := e.alloc.(fluid.IterCounter); ok {
 		s.AllocIters = ic.SolveIters()
@@ -991,6 +1060,93 @@ func (e *Engine) AddGroup(paths [][]int, u core.Utility, sizeBytes int64, at flo
 		g.AddMember(e.AddFlow(links, u, 0, at))
 	}
 	return g
+}
+
+// FailLink schedules directed link link to fail at time at (seconds):
+// its capacity drops to zero and every flow crossing it is re-solved —
+// component-locally, since a failed link disturbs exactly the flows in
+// its active index. Flows left with no usable capacity are stranded
+// (rate zero, completion event cancelled, payload frozen); ECMP group
+// members on the link drop to rate zero and the group's traffic
+// re-splits over its surviving paths. Failures nest: failing an
+// already-failed link deepens a counter and changes nothing until the
+// matching recoveries unwind it. Switch failures are expressed as the
+// switch's incident directed links (fluid.FatTree's *SwitchLinks).
+//
+// Fault events ride the same epoch-stamped heaps as completions and
+// retire in a canonical order (completions first at a shared instant,
+// then failures, then recoveries, then by link id), so fault runs stay
+// byte-identical across every (Workers, Window, Global) configuration.
+func (e *Engine) FailLink(link int, at float64) { e.scheduleFault(link, at, evkFail) }
+
+// RecoverLink schedules link to recover at time at: once every nested
+// failure has unwound, capacity is restored to its construction-time
+// value, stranded flows on the link resume (a fresh re-solve assigns
+// them positive rate and reschedules their completions), and group
+// traffic re-splits over the recovered path. Recovering a healthy link
+// is a counted no-op.
+func (e *Engine) RecoverLink(link int, at float64) { e.scheduleFault(link, at, evkRecover) }
+
+func (e *Engine) scheduleFault(link int, at float64, kind uint8) {
+	if link < 0 || link >= e.net.Links() {
+		panic(fmt.Sprintf("leap: fault on link %d of a %d-link network", link, e.net.Links()))
+	}
+	if e.baseCap == nil {
+		e.baseCap = append([]float64(nil), e.net.Capacity...)
+		e.downDepth = make([]int32, e.net.Links())
+		e.capDownT = make([]float64, e.net.Links())
+	}
+	sh := 0
+	if e.linkShard != nil {
+		sh = e.linkShard[link]
+	}
+	e.pendingFaults++
+	e.heaps[sh].push(event{t: at, id: int32(link), kind: kind})
+}
+
+// applyFault performs one due fault event at time t: flip the link's
+// capacity on the 0↔1 depth edge, account the degradation, and seed
+// exactly the active flows crossing the link for the next re-solve.
+// Same-instant fail+recover pairs cancel (capacity net unchanged, zero
+// downtime accrued) but still trigger the seeded re-solve, which finds
+// every rate unchanged and leaves the schedule untouched.
+func (e *Engine) applyFault(link int, fail bool, t float64) {
+	e.pendingFaults--
+	e.faults++
+	if e.metrics != nil && e.metrics.Faults != nil {
+		e.metrics.Faults.Inc()
+	}
+	if fail {
+		e.downDepth[link]++
+		if e.downDepth[link] > 1 {
+			return
+		}
+		e.net.Capacity[link] = 0
+		e.capDownT[link] = t
+		e.linksDown++
+		e.batchCause = obs.CauseFail
+	} else {
+		if e.downDepth[link] == 0 {
+			return
+		}
+		e.downDepth[link]--
+		if e.downDepth[link] > 0 {
+			return
+		}
+		e.net.Capacity[link] = e.baseCap[link]
+		if dt := t - e.capDownT[link]; dt > 0 {
+			e.capLostBitSec += e.baseCap[link] * dt
+		}
+		e.linksDown--
+		e.batchCause = obs.CauseRecover
+	}
+	if e.global {
+		e.changed = true
+		return
+	}
+	for _, id := range e.linkFlows[link] {
+		e.seed(e.tbl.ByID(int(id)))
+	}
 }
 
 // admitDue moves every pending flow with Arrive ≤ now into the active
@@ -1081,6 +1237,14 @@ func (e *Engine) admitIsolated(f *fluid.Flow) {
 	e.elided++
 	if f.SizeBytes > 0 && f.Rate > 0 {
 		e.pushFlowEvent(f, e.now)
+	} else if f.SizeBytes > 0 {
+		// Admitted straight onto a dead path: stranded from birth, no
+		// completion to schedule until a recovery re-solves it.
+		e.fs[f.ID].bits |= strandedBit
+		e.stranded++
+		if e.metrics != nil && e.metrics.Stranded != nil {
+			e.metrics.Stranded.Inc()
+		}
 	}
 	if e.ft != nil {
 		// No solver ran: the flow takes its line rate, bottlenecked by
@@ -1388,12 +1552,19 @@ func (e *Engine) opShard(op evOp) int {
 }
 
 // eventShard returns the heap shard a (possibly popped) event belongs
-// to, resolving its owner through the tables.
+// to, resolving completion owners through the tables; a fault event
+// lives in its link's shard.
 func (e *Engine) eventShard(ev event) int {
-	if !ev.grp {
+	switch ev.kind {
+	case evkFlow:
 		return e.flowShard(e.tbl.ByID(int(ev.id)))
+	case evkGroup:
+		return e.groupShard(e.gtbl.ByID(int(ev.id)))
 	}
-	return e.groupShard(e.gtbl.ByID(int(ev.id)))
+	if e.linkShard == nil {
+		return 0
+	}
+	return e.linkShard[ev.id]
 }
 
 // invalidateFlow bumps f's epoch, marking any heap event it has stale.
@@ -1424,19 +1595,24 @@ func (e *Engine) pushFlowEvent(f *fluid.Flow, now float64) {
 func (e *Engine) pushGroupEvent(g *fluid.Group, now float64) {
 	s := &e.gs[g.ID]
 	s.bits |= evBit
-	e.heaps[e.groupShard(g)].push(event{t: now + g.Remaining*8/g.Rate(), id: int32(g.ID), ep: s.bits & epMask, grp: true})
+	e.heaps[e.groupShard(g)].push(event{t: now + g.Remaining*8/g.Rate(), id: int32(g.ID), ep: s.bits & epMask, kind: evkGroup})
 }
 
 // valid reports whether a heap event is still live: its owner running
-// and its epoch current. The epoch check comes first — a stale event
-// (and any event left by a recycled id's previous tenant, whose epoch
-// the new tenant advanced past) is rejected without resolving its
-// owner at all.
+// and its epoch current. The kind check comes first — a fault event's
+// id is a link id, never resolvable through the flow tables, and a
+// capacity change can never go stale, so faults are always live. Then
+// the epoch check — a stale event (and any event left by a recycled
+// id's previous tenant, whose epoch the new tenant advanced past) is
+// rejected without resolving its owner at all.
 func (e *Engine) valid(ev event) bool {
-	if !ev.grp {
+	switch ev.kind {
+	case evkFlow:
 		return ev.ep == e.fs[ev.id].bits&epMask && !e.tbl.ByID(int(ev.id)).Done()
+	case evkGroup:
+		return ev.ep == e.gs[ev.id].bits&epMask && !e.gtbl.ByID(int(ev.id)).Done()
 	}
-	return ev.ep == e.gs[ev.id].bits&epMask && !e.gtbl.ByID(int(ev.id)).Done()
+	return true
 }
 
 // earliest prunes stale events off every shard's top and returns the
@@ -1482,16 +1658,41 @@ func (e *Engine) maybeCompact() {
 // existing event stands untouched, which is what keeps untouched
 // rates' schedules byte-stable across other components'
 // reallocations.
-func (e *Engine) preApplyFlow(f *fluid.Flow, rate, now float64) bool {
+//
+// A zero rate strands the flow: no drain accrues (old ≤ 0 skips the
+// materialization), the resplice op invalidates its event without
+// pushing a new one, and refT freezes at the stranding instant so the
+// eventual resume can accrue the stranded-time integral into res. The
+// stranding transitions are counted into res (per-component scratch)
+// because pre-apply may run on a worker.
+func (e *Engine) preApplyFlow(f *fluid.Flow, rate, now float64, res *compResult) bool {
 	old := f.Rate
 	if f.SizeBytes == 0 {
 		f.Rate = rate
 		return false
 	}
-	if rate == old && (e.fs[f.ID].bits&evBit != 0) == (rate > 0) {
+	s := &e.fs[f.ID]
+	if rate <= 0 {
+		if s.bits&strandedBit == 0 {
+			s.bits |= strandedBit
+			res.stranded++
+			if old <= 0 {
+				// Rate was already zero (admitted dead): the stranding
+				// clock starts now; a positive old rate instead drains
+				// below, which also sets refT to now.
+				s.refT = now
+			}
+		}
+	} else if s.bits&strandedBit != 0 {
+		s.bits &^= strandedBit
+		res.resumed++
+		if dt := now - s.refT; dt > 0 {
+			res.strandedSec += dt
+		}
+	}
+	if rate == old && (s.bits&evBit != 0) == (rate > 0) {
 		return false
 	}
-	s := &e.fs[f.ID]
 	if old > 0 {
 		// Materialize the lazy drain under the outgoing rate. A
 		// same-instant change (now == refT) drains exactly zero.
@@ -1561,7 +1762,7 @@ func (e *Engine) preApply(flows []*fluid.Flow, groups []*fluid.Group, rates []fl
 			f.Rate = rates[i]
 			continue
 		}
-		if e.preApplyFlow(f, rates[i], now) {
+		if e.preApplyFlow(f, rates[i], now, res) {
 			res.ops = append(res.ops, evOp{id: int32(f.ID), t: now})
 		}
 	}
@@ -1588,13 +1789,14 @@ func (e *Engine) solveComponent(alloc fluid.SubsetAllocator, ci int) {
 	res := &e.compRes[ci]
 	res.ops = res.ops[:0]
 	res.solved = 0
+	res.stranded, res.resumed, res.strandedSec = 0, 0, 0
 	flows := e.comp[r.f0:r.f1]
 	if len(flows) == 1 && flows[0].Group == nil {
 		// A component of one plain flow needs no allocator at all: it
 		// takes its path's minimum capacity, the same independence
 		// elision its arrival fast path uses, generalized to
-		// departures that strand a lone neighbor.
-		if e.preApplyFlow(flows[0], e.pathMinCap(flows[0]), now) {
+		// departures that leave a lone neighbor behind.
+		if e.preApplyFlow(flows[0], e.pathMinCap(flows[0]), now, res) {
 			res.ops = append(res.ops, evOp{id: int32(flows[0].ID), t: now})
 		}
 		return
@@ -1763,6 +1965,7 @@ func (e *Engine) solveBatch(nc int) {
 		} else {
 			e.elided++
 		}
+		e.accumulateStrands(r)
 		if e.ft != nil {
 			e.traceComponent(ci)
 		}
@@ -1810,12 +2013,33 @@ func (e *Engine) solveBatch(nc int) {
 	}
 }
 
+// accumulateStrands folds one solve's stranding transitions into the
+// engine counters and metrics — called from the serial reduce only.
+func (e *Engine) accumulateStrands(r *compResult) {
+	if r.stranded == 0 && r.resumed == 0 {
+		return
+	}
+	e.stranded += r.stranded
+	e.resumed += r.resumed
+	e.strandedSec += r.strandedSec
+	if e.metrics != nil {
+		if e.metrics.Stranded != nil {
+			e.metrics.Stranded.Add(int64(r.stranded))
+		}
+		if e.metrics.Resumed != nil {
+			e.metrics.Resumed.Add(int64(r.resumed))
+		}
+	}
+}
+
 // traceComponent reports one component's solved rates to the flow
 // tracer, from the serial reduce (no worker is solving, so the parent
 // allocator's bottleneck scratch is free). Each plain finite flow gets
 // a rate segment stamped with the component size and the solve's
 // batch/window ordinals; group members and unbounded flows are
-// filtered by the tracer itself.
+// filtered by the tracer itself. The cause code is the engine's
+// batchCause — CauseFail/CauseRecover when a fault event triggered
+// this solve, CauseSolve otherwise.
 func (e *Engine) traceComponent(ci int) {
 	cr := e.comps[ci]
 	now := e.compTime[ci]
@@ -1824,14 +2048,14 @@ func (e *Engine) traceComponent(ci int) {
 		// Elided single-flow component: line rate, min-capacity
 		// bottleneck (the tracer's default for bneck < 0).
 		f := flows[0]
-		e.ft.Rate(f.ID, now, f.Rate, -1, obs.CauseSolve, 1,
+		e.ft.Rate(f.ID, now, f.Rate, -1, e.batchCause, 1,
 			uint64(e.batches), uint64(e.windows))
 		return
 	}
 	rates := e.ratesArena[cr.f0:cr.f1]
 	bn := e.bottlenecks(flows, rates)
 	for i, f := range flows {
-		e.ft.Rate(f.ID, now, rates[i], int(bn[i]), obs.CauseSolve, len(flows),
+		e.ft.Rate(f.ID, now, rates[i], int(bn[i]), e.batchCause, len(flows),
 			uint64(e.batches), uint64(e.windows))
 	}
 }
@@ -1869,10 +2093,12 @@ func (e *Engine) allocateGlobal() {
 		e.maxComp = n
 	}
 	e.globalOps.ops = e.globalOps.ops[:0]
+	e.globalOps.stranded, e.globalOps.resumed, e.globalOps.strandedSec = 0, 0, 0
 	e.preApply(e.active, e.activeGroups, rates, e.now, &e.globalOps)
 	for _, op := range e.globalOps.ops {
 		e.applyOp(op)
 	}
+	e.accumulateStrands(&e.globalOps)
 	if e.ft != nil {
 		// Global mode has no batch counter; the allocation ordinal
 		// stands in. The full active set is trivially link-closed, so
@@ -1880,7 +2106,7 @@ func (e *Engine) allocateGlobal() {
 		// filtered from tracing by the tracer).
 		bn := e.bottlenecks(e.active, rates)
 		for i, f := range e.active {
-			e.ft.Rate(f.ID, e.now, rates[i], int(bn[i]), obs.CauseSolve, n,
+			e.ft.Rate(f.ID, e.now, rates[i], int(bn[i]), e.batchCause, n,
 				uint64(e.allocs), uint64(e.windows))
 		}
 	}
@@ -2047,11 +2273,15 @@ func (e *Engine) gatherMerge(due []int) []event {
 	return merged
 }
 
-// retireEvent completes one due flow or group event: stamp finishes,
+// retireEvent completes one due flow or group event — stamp finishes,
 // move to the finished lists, unlink from the link index, and seed
-// the neighbors the departure uncouples.
+// the neighbors the departure uncouples — or applies a due fault.
 func (e *Engine) retireEvent(ev event) {
-	if !ev.grp {
+	if ev.kind >= evkFail {
+		e.applyFault(int(ev.id), ev.kind == evkFail, ev.t)
+		return
+	}
+	if ev.kind == evkFlow {
 		f := e.tbl.ByID(int(ev.id))
 		e.fs[f.ID].bits &^= evBit
 		f.Finish = ev.t
@@ -2167,7 +2397,11 @@ func (e *Engine) step(deadline float64) bool {
 	if e.prof != nil {
 		e.prof.Lap(obs.PhaseAdmit)
 	}
-	if e.liveActive() == 0 && e.next >= len(e.pending) {
+	// Idle early-exit: nothing active (stranded flows count as active —
+	// they are waiting on recovery, not runnable) and nothing pending.
+	// Scheduled fault events keep the loop alive so capacity toggles on
+	// an idle network still apply, matching the windowed loop.
+	if e.liveActive() == 0 && e.next >= len(e.pending) && e.pendingFaults == 0 {
 		return false
 	}
 	if e.global {
@@ -2177,6 +2411,7 @@ func (e *Engine) step(deadline float64) bool {
 	} else if len(e.touched) > 0 {
 		e.reallocate()
 	}
+	e.batchCause = obs.CauseSolve
 	tC := math.Inf(1)
 	if ev, _, ok := e.earliest(); ok {
 		tC = ev.t
@@ -2243,6 +2478,7 @@ func (e *Engine) Run(until float64) {
 	} else if len(e.touched) > 0 {
 		e.reallocate()
 	}
+	e.batchCause = obs.CauseSolve
 	e.materialize(e.now)
 	if e.prof != nil {
 		e.prof.Lap(obs.PhaseDrain)

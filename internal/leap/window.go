@@ -114,6 +114,22 @@ func (e *Engine) windowStep(deadline float64) bool {
 // window conflicts: its events go back on the heaps and the window
 // ends before it. The first instant can never conflict, so a
 // non-empty collection always makes progress.
+//
+// A pending fault instant (FailLink/RecoverLink) is a HARD safety
+// bound, stricter than the link-disjointness claims: a capacity
+// mutation invalidates every claim and trial flood taken over the
+// pre-fault capacities — a recovery can even re-couple components the
+// claims proved disjoint — so a fault event never joins a multi-
+// instant window. As a non-first instant it conflicts outright
+// (events restored, window closed before it); as the first instant it
+// forms a singleton window, which replays exactly like the serial
+// loop: completions at the instant retire first, the fault mutates
+// capacity, and the post-fault re-solve runs with the window's one
+// solveBatch. Faults landing bit-equal on an instant the window
+// already claimed are therefore impossible by construction — the
+// fault's own instant is popped atomically with the completions
+// sharing it, and the whole instant either starts the window or
+// closes it.
 func (e *Engine) collectWindow(deadline float64) {
 	e.winTasks = e.winTasks[:0]
 	e.winEv = e.winEv[:0]
@@ -165,12 +181,38 @@ func (e *Engine) collectWindow(deadline float64) {
 		}
 		evs := e.winEv[e0:]
 		sortEvents(evs)
+		hasFault := false
+		for _, ev := range evs {
+			if ev.kind >= evkFail {
+				hasFault = true
+				break
+			}
+		}
 		a0 := na
 		// Same clamp as tA above: a late-scheduled arrival joins the
 		// first instant at or after the current clock, never a
 		// backfill instant behind it.
 		for na < len(e.pending) && math.Max(e.pending[na].Arrive, e.now) <= t {
 			na++
+		}
+		if hasFault {
+			if len(e.winTasks) > 0 {
+				// Hard safety bound: the capacity mutation would
+				// invalidate every claim this window holds, so it ends
+				// just before the fault instant.
+				for _, ev := range evs {
+					e.heaps[e.eventShard(ev)].push(ev)
+				}
+				e.winEv = e.winEv[:e0]
+				na = a0
+				e.winConflicts++
+				break
+			}
+			// First instant: the fault forms a singleton window (the
+			// serial per-instant sequence exactly). claimInstant never
+			// sees fault events — their ids are link ids, not flow ids.
+			e.winTasks = append(grow(e.winTasks), winTask{t: t, e0: e0, e1: len(e.winEv), nArr: na - a0})
+			break
 		}
 		if len(e.winTasks) > 0 && !e.claimInstant(evs, e.pending[a0:na]) {
 			// Safety bound hit: restore the pops and close the window.
@@ -221,7 +263,7 @@ func (e *Engine) claimInstant(events []event, arrivals []*fluid.Flow) bool {
 		e.floodComponent(f, -1, wb)
 	}
 	for _, ev := range events {
-		if !ev.grp {
+		if ev.kind == evkFlow {
 			flood(e.tbl.ByID(int(ev.id)))
 			continue
 		}
@@ -246,7 +288,7 @@ func (e *Engine) claimInstant(events []event, arrivals []*fluid.Flow) bool {
 	// Seeds absorbed by an earlier instant (marked before this call)
 	// are not in wb.comp[f0:]; their claims are checked directly.
 	for _, ev := range events {
-		if !ev.grp {
+		if ev.kind == evkFlow {
 			if claimed(e.tbl.ByID(int(ev.id))) {
 				return false
 			}
@@ -359,6 +401,7 @@ func (e *Engine) processWindow() {
 	if nc > 0 {
 		e.solveBatch(nc)
 	}
+	e.batchCause = obs.CauseSolve
 	if 2*e.nDone >= len(e.active) {
 		e.compactActive()
 	}

@@ -137,11 +137,24 @@ const (
 	CauseAdmit uint8 = iota
 	// CauseSolve marks a rate set by a component (or global) solve.
 	CauseSolve
+	// CauseFail marks a rate set by the re-solve a link failure
+	// triggered — including the zero rate of a flow the failure
+	// stranded.
+	CauseFail
+	// CauseRecover marks a rate set by the re-solve a link recovery
+	// triggered — including the positive rate that resumes a stranded
+	// flow.
+	CauseRecover
 )
 
 func causeName(c uint8) string {
-	if c == CauseAdmit {
+	switch c {
+	case CauseAdmit:
 		return "admit"
+	case CauseFail:
+		return "fail"
+	case CauseRecover:
+		return "recover"
 	}
 	return "solve"
 }
@@ -153,7 +166,7 @@ type FlowSeg struct {
 	T     float64 // segment start, virtual seconds
 	Rate  float64 // bits/second
 	Bneck int32   // bottleneck link id (min-slack on the flow's path)
-	Cause uint8   // CauseAdmit or CauseSolve
+	Cause uint8   // CauseAdmit, CauseSolve, CauseFail, or CauseRecover
 	Comp  int32   // flows in the component solved (1 on the fast path)
 	Batch uint32  // solve-batch ordinal
 	Win   uint32  // PDES window ordinal (0 with windowing off)
@@ -252,10 +265,23 @@ func (t *FlowTracer) Admit(id int, sizeBytes int64, arrive float64, links []int)
 	if t.caps == nil || len(links) == 0 || sizeBytes <= 0 {
 		return
 	}
+	lineRate, lineBneck := math.Inf(1), int32(-1)
 	for _, l := range links {
 		if l < 0 || l >= len(t.caps) {
 			return // foreign network (tracer bound elsewhere): skip
 		}
+		if c := t.caps[l]; c < lineRate {
+			lineRate, lineBneck = c, int32(l)
+		}
+	}
+	if lineRate <= 0 {
+		// Admitted straight onto a dead (failed) link: no finite ideal
+		// FCT exists to attribute lost service against, so the flow is
+		// not traced. The engine still counts it in Stats.Stranded, and
+		// flows admitted while their path was healthy keep exact
+		// attribution through any later failure (stranded time accrues
+		// in full against the failed bottleneck).
+		return
 	}
 	for id >= len(t.active) {
 		t.active = append(t.active, nil)
@@ -267,11 +293,7 @@ func (t *FlowTracer) Admit(id int, sizeBytes int64, arrive float64, links []int)
 	} else {
 		r = &FlowRecord{}
 	}
-	lineRate, lineBneck := math.Inf(1), int32(-1)
 	for _, l := range links {
-		if c := t.caps[l]; c < lineRate {
-			lineRate, lineBneck = c, int32(l)
-		}
 		r.links = append(r.links, int32(l))
 	}
 	r.ID = id

@@ -187,6 +187,12 @@ type EngineMetrics struct {
 	// solved per window (windowed engines only; see leap.Config.Window).
 	WindowEvents     *Histogram
 	WindowComponents *Histogram
+	// Faults counts applied fault events (link failures + recoveries);
+	// Stranded and Resumed count flows driven to rate zero by dead
+	// capacity and brought back by recovery (see leap.Stats).
+	Faults   *Counter
+	Stranded *Counter
+	Resumed  *Counter
 }
 
 // NewEngineMetrics creates (or reuses) the engine instruments in r
@@ -201,5 +207,9 @@ func NewEngineMetrics(r *Registry, prefix string) *EngineMetrics {
 
 		WindowEvents:     r.Histogram(prefix + ".window_events"),
 		WindowComponents: r.Histogram(prefix + ".window_components"),
+
+		Faults:   r.Counter(prefix + ".faults"),
+		Stranded: r.Counter(prefix + ".stranded"),
+		Resumed:  r.Counter(prefix + ".resumed"),
 	}
 }

@@ -78,6 +78,11 @@ func Solve(p *core.Problem, opts SolveOptions) Result {
 	for _, c := range p.Capacity {
 		maxCap = math.Max(maxCap, c)
 	}
+	if maxCap <= 0 {
+		// Every link dead: keep the weight window finite; the max-min
+		// step pins all rates at zero regardless.
+		maxCap = 1
+	}
 	wMin, wMax := 1e-3, 100*maxCap
 
 	// Initialize prices so that initial weights are on the order of a
@@ -105,13 +110,21 @@ func Solve(p *core.Problem, opts SolveOptions) Result {
 		for g := range p.Groups {
 			grp := &p.Groups[g]
 			f0 := grp.Flows[0]
-			fair := p.Capacity[paths[f0][0]] / math.Max(1, float64(cnt[paths[f0][0]]))
+			capl := p.Capacity[paths[f0][0]]
+			if capl <= 0 {
+				// Dead representative link (fault injection): scale
+				// against the largest capacity instead.
+				capl = maxCap
+			}
+			fair := capl / math.Max(1, float64(cnt[paths[f0][0]]))
 			target := grp.U.Marginal(fair)
 			sum := 0.0
 			for _, l := range paths[f0] {
 				sum += price[l]
 			}
-			if sum > 0 && target > 0 {
+			// Guard against a dead first link: fair == 0 can make the
+			// marginal +Inf, and an infinite scale poisons every price.
+			if sum > 0 && target > 0 && !math.IsInf(target, 1) {
 				scale = target / sum
 			}
 			break
@@ -211,6 +224,12 @@ func Solve(p *core.Problem, opts SolveOptions) Result {
 			if !hasFlow[l] {
 				// No flows: drive the price to zero.
 				price[l] *= opts.Beta
+				continue
+			}
+			if p.Capacity[l] <= 0 {
+				// Failed link: utilization is undefined (0/0) and no
+				// price can admit traffic. Hold the price so a recovery
+				// warm-starts from the pre-fault dual.
 				continue
 			}
 			pres := price[l] + minRes[l]
